@@ -1,0 +1,247 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks of the hot primitives (formula
+   evaluation, history hashing, predictor lookups, Algorithm 1, the
+   randomized trainer, codec and timing-model throughput).
+
+   Part 2 — regeneration of every table and figure of the paper's
+   evaluation (one entry per table/figure; see DESIGN.md §4), printing the
+   same rows/series the paper reports.
+
+   Part 3 — ablation benches for the design choices DESIGN.md calls out:
+   history-hash operation (XOR/AND/OR) and hint-buffer size.
+
+   Environment:
+     WHISPER_EVENTS      branch events per simulation   (default 800_000)
+     WHISPER_SKIP_MICRO  set to skip part 1
+     WHISPER_ONLY        comma-separated experiment ids for part 2 *)
+
+open Bechamel
+open Toolkit
+open Whisper_trace
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let events = env_int "WHISPER_EVENTS" 800_000
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let rng = Whisper_util.Rng.create 42 in
+  let tree = Whisper_formula.Tree.of_id ~leaves:8 0x2F31 in
+  let tt = Whisper_formula.Tree.truth_table tree in
+  let hist = Whisper_util.History.create ~depth:2048 in
+  let folded =
+    Array.map
+      (fun len -> Whisper_util.History.Folded.create ~len ~chunk:8)
+      Workloads.lengths
+  in
+  let tage = Whisper_bpu.Tage_scl.predictor Whisper_bpu.Sizes.standard in
+  let app = Option.get (Workloads.by_name "cassandra") in
+  let cfg = Workloads.build_cfg app in
+  let model = App_model.create ~cfg ~config:app ~input:0 () in
+  let src = App_model.source model in
+  let buf = Whisper_core.Hint_buffer.create ~size:32 in
+  let hint =
+    Whisper_core.Brhint.make ~len_idx:5 ~formula_id:123
+      ~bias:Whisper_core.Brhint.Formula ~pc_offset:40
+  in
+  (* small Algorithm 1 instance *)
+  let taken = Array.init 256 (fun i -> if i land 3 = 0 then 5 else 0) in
+  let not_taken = Array.init 256 (fun i -> if i land 3 = 1 then 3 else 0) in
+  let tables = Whisper_core.Algorithm1.tables_of_counts ~taken ~not_taken in
+  let rnd = Whisper_core.Randomized.create Whisper_core.Config.default in
+  let cands = Whisper_core.Randomized.candidates rnd in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"formula-eval (tree walk)"
+      (Staged.stage (fun () ->
+           ignore (Whisper_formula.Tree.eval tree (!counter land 0xFF));
+           incr counter));
+    Test.make ~name:"formula-eval (truth table)"
+      (Staged.stage (fun () ->
+           ignore (Whisper_formula.Tree.eval_tt tt (!counter land 0xFF));
+           incr counter));
+    Test.make ~name:"truth-table build (256 entries)"
+      (Staged.stage (fun () -> ignore (Whisper_formula.Tree.truth_table tree)));
+    Test.make ~name:"folded-history push (16 lengths)"
+      (Staged.stage (fun () ->
+           Whisper_util.History.push_all hist folded (Whisper_util.Rng.bool rng)));
+    Test.make ~name:"tage-scl predict+train"
+      (Staged.stage (fun () ->
+           let pc = 0x40_0000 + (!counter land 0xFFF) * 4 in
+           incr counter;
+           let p = tage.Whisper_bpu.Predictor.predict ~pc in
+           tage.train ~pc ~taken:(p || !counter land 7 = 0)));
+    Test.make ~name:"app-model event generation"
+      (Staged.stage (fun () -> ignore (src ())));
+    Test.make ~name:"algorithm1 (32 candidate formulas)"
+      (Staged.stage (fun () ->
+           ignore
+             (Whisper_core.Algorithm1.find tables ~candidates:cands
+                ~truth_of:(Whisper_core.Randomized.truth_of rnd))));
+    Test.make ~name:"hint-buffer insert+probe"
+      (Staged.stage (fun () ->
+           Whisper_core.Hint_buffer.insert buf ~branch_pc:(!counter land 63) hint;
+           ignore
+             (Whisper_core.Hint_buffer.probe buf ~branch_pc:(!counter land 63));
+           incr counter));
+    Test.make ~name:"brhint encode+decode"
+      (Staged.stage (fun () ->
+           ignore (Whisper_core.Brhint.decode (Whisper_core.Brhint.encode hint))));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg_b =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  Printf.printf "== micro-benchmarks ==\n%!";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg_b [ Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | _ -> nan
+          in
+          Printf.printf "  %-36s %10.1f ns/op\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: ablation benches                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* History-hash operation ablation (paper §III-A: XOR chosen over AND/OR).
+   Measures how well the best formula can separate taken from not-taken
+   hashed histories when the fold uses each operation, over a profiling
+   trace of one application. *)
+let hash_ablation () =
+  Printf.printf "== ablation: history-hash operation (postgres) ==\n%!";
+  let app = Option.get (Workloads.by_name "postgres") in
+  let cfg = Workloads.build_cfg app in
+  let lengths = [| 16; 55; 204; 540 |] in
+  let n_events = min events 300_000 in
+  (* collect raw windows for the hottest branches *)
+  let src = App_model.source (App_model.create ~cfg ~config:app ~input:0 ()) in
+  let hist = Whisper_util.History.create ~depth:2048 in
+  let per_branch = Hashtbl.create 512 in
+  for _ = 1 to n_events do
+    let e = src () in
+    (match Cfg.block_of_pc cfg e.Branch.pc with
+    | Some b
+      when (match (Cfg.behavior cfg b.Cfg.id).Behavior.kind with
+           | Behavior.Hashed_formula _ | Behavior.Short_formula _ -> true
+           | _ -> false)
+           && Hashtbl.length per_branch < 64
+           || Hashtbl.mem per_branch e.Branch.pc ->
+        let window =
+          Array.map
+            (fun len ->
+              Array.init len (fun j -> Whisper_util.History.get hist j))
+            lengths
+        in
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt per_branch e.Branch.pc)
+        in
+        if List.length prev < 256 then
+          Hashtbl.replace per_branch e.Branch.pc
+            ((window, e.Branch.taken) :: prev)
+    | _ -> ());
+    Whisper_util.History.push hist e.Branch.taken
+  done;
+  let fold op bits =
+    let acc = ref (match op with `And -> 0xFF | _ -> 0) in
+    Array.iteri
+      (fun j b ->
+        let pos = j mod 8 in
+        match op with
+        | `Xor -> acc := !acc lxor (b lsl pos)
+        | `Or -> acc := !acc lor (b lsl pos)
+        | `And ->
+            (* AND-fold: clear the position's bit when any chunk has 0 *)
+            if b = 0 then acc := !acc land lnot (1 lsl pos))
+      bits;
+    !acc land 0xFF
+  in
+  let rnd = Whisper_core.Randomized.create Whisper_core.Config.default in
+  let cands = Whisper_core.Randomized.candidates rnd in
+  List.iter
+    (fun op ->
+      let total = ref 0 and mis = ref 0 in
+      Hashtbl.iter
+        (fun _ samples ->
+          Array.iteri
+            (fun li _ ->
+              let taken = Array.make 256 0 and not_taken = Array.make 256 0 in
+              List.iter
+                (fun (window, tk) ->
+                  let k = fold op window.(li) in
+                  if tk then taken.(k) <- taken.(k) + 1
+                  else not_taken.(k) <- not_taken.(k) + 1)
+                samples;
+              let tables =
+                Whisper_core.Algorithm1.tables_of_counts ~taken ~not_taken
+              in
+              if Whisper_core.Algorithm1.distinct_keys tables > 0 then begin
+                let _, m =
+                  Whisper_core.Algorithm1.find tables ~candidates:cands
+                    ~truth_of:(Whisper_core.Randomized.truth_of rnd)
+                in
+                let t, nt = Whisper_core.Algorithm1.tables_total tables in
+                total := !total + t + nt;
+                mis := !mis + m
+              end)
+            lengths)
+        per_branch;
+      Printf.printf "  fold=%-4s best-formula accuracy %.1f%%\n%!"
+        (match op with `Xor -> "xor" | `And -> "and" | `Or -> "or")
+        (100.0 *. (1.0 -. (float_of_int !mis /. float_of_int (max 1 !total)))))
+    [ `Xor; `And; `Or ]
+
+let hintbuf_ablation ctx =
+  Printf.printf "== ablation: hint-buffer size (cassandra) ==\n%!";
+  let app = Option.get (Workloads.by_name "cassandra") in
+  let base = Whisper_sim.Runner.run ctx app Whisper_sim.Runner.Baseline in
+  List.iter
+    (fun size ->
+      let config = { Whisper_core.Config.default with hint_buffer_size = size } in
+      let w = Whisper_sim.Runner.run ctx app (Whisper_sim.Runner.Whisper config) in
+      Printf.printf "  %3d entries: reduction %.1f%%\n%!" size
+        (Whisper_util.Stats.reduction_pct
+           ~baseline:(float_of_int base.Whisper_pipeline.Machine.mispredicts)
+           ~improved:(float_of_int w.Whisper_pipeline.Machine.mispredicts)))
+    [ 4; 16; 32; 128 ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  if Sys.getenv_opt "WHISPER_SKIP_MICRO" = None then run_micro ();
+  Printf.printf "\n== paper tables & figures (%d events per run) ==\n\n%!" events;
+  let ctx = Whisper_sim.Runner.create_ctx ~events () in
+  let only =
+    match Sys.getenv_opt "WHISPER_ONLY" with
+    | Some s -> String.split_on_char ',' s
+    | None -> Whisper_sim.Experiments.all_ids
+  in
+  List.iter
+    (fun id ->
+      match Whisper_sim.Experiments.by_id id with
+      | None -> Printf.eprintf "unknown experiment id %s\n" id
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          Whisper_sim.Report.print (f ctx);
+          Printf.printf "  (%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    only;
+  hash_ablation ();
+  hintbuf_ablation ctx

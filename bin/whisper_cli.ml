@@ -1,0 +1,324 @@
+(* whisper — command line front-end to the Whisper reproduction.
+
+   Subcommands:
+     list        catalogue of synthetic applications
+     simulate    run one application under one technique
+     profile     collect + summarize an in-production profile
+     analyze     run the offline branch analysis, show hints
+     trace       PT-encode a trace to a file / verify round trip
+     experiment  regenerate a paper table/figure (or all of them) *)
+
+open Cmdliner
+open Whisper_trace
+
+let find_app name =
+  match Workloads.by_name name with
+  | Some c -> c
+  | None ->
+      Printf.eprintf "unknown application %S; try `whisper list`\n" name;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-18s %-10s %10s %10s %10s\n" "name" "family" "functions"
+      "branches" "code-KB";
+    Array.iter
+      (fun (c : Workloads.config) ->
+        let cfg = Workloads.build_cfg c in
+        Printf.printf "%-18s %-10s %10d %10d %10d\n" c.name
+          (match c.family with
+          | Workloads.Datacenter -> "datacenter"
+          | Workloads.Spec -> "spec")
+          c.functions (Cfg.n_branches cfg)
+          (cfg.Cfg.footprint / 1024))
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the synthetic applications")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "app"; "a" ] ~docv:"NAME" ~doc:"Application name (see `list`)")
+
+let events_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "events"; "n" ] ~docv:"N" ~doc:"Branch events to simulate")
+
+let input_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "input"; "i" ] ~docv:"K" ~doc:"Workload input variant")
+
+let kb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "baseline-kb" ] ~docv:"KB" ~doc:"TAGE-SC-L storage budget")
+
+let technique_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "baseline" | "tage-scl" -> Ok Whisper_sim.Runner.Baseline
+    | "ideal" -> Ok Whisper_sim.Runner.Ideal
+    | "mtage" | "mtage-sc" -> Ok Whisper_sim.Runner.Mtage_sc
+    | "rombf4" | "4b-rombf" -> Ok (Whisper_sim.Runner.Rombf 4)
+    | "rombf8" | "8b-rombf" -> Ok (Whisper_sim.Runner.Rombf 8)
+    | "branchnet8k" ->
+        Ok (Whisper_sim.Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192))
+    | "branchnet32k" ->
+        Ok
+          (Whisper_sim.Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 32768))
+    | "branchnet" ->
+        Ok (Whisper_sim.Runner.Branchnet Whisper_branchnet.Branchnet.Unlimited)
+    | "whisper" -> Ok (Whisper_sim.Runner.Whisper Whisper_core.Config.default)
+    | s -> Error (`Msg (Printf.sprintf "unknown technique %S" s))
+  in
+  let print fmt t = Format.pp_print_string fmt (Whisper_sim.Runner.technique_name t) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Whisper_sim.Runner.Baseline
+    & info [ "technique"; "t" ] ~docv:"TECH"
+        ~doc:
+          "One of: baseline, ideal, mtage, rombf4, rombf8, branchnet8k, \
+           branchnet32k, branchnet, whisper")
+
+let simulate_cmd =
+  let run app technique events input kb =
+    let app = find_app app in
+    let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+    let r = Whisper_sim.Runner.run ~test_input:input ctx app technique in
+    let open Whisper_pipeline.Machine in
+    Printf.printf "app            %s (input %d)\n" app.Workloads.name input;
+    Printf.printf "technique      %s\n" (Whisper_sim.Runner.technique_name technique);
+    Printf.printf "events         %d branches, %d instructions\n" r.branches r.instrs;
+    Printf.printf "cycles         %.0f  (IPC %.3f)\n" r.cycles (ipc r);
+    Printf.printf "mispredicts    %d  (branch-MPKI %.2f)\n" r.mispredicts (mpki r);
+    Printf.printf "stalls         mispredict %.0f, frontend %.0f, btb %.0f cycles\n"
+      r.misp_stall r.fe_stall r.btb_stall;
+    Printf.printf "L1i misses     %d (%d exposed past FDIP)\n" r.l1i_misses
+      r.exposed_misses
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate one application under one technique")
+    Term.(const run $ app_arg $ technique_arg $ events_arg 1_200_000 $ input_arg $ kb_arg)
+
+let profile_cmd =
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the profile to a file")
+  in
+  let run app events kb save =
+    let app = find_app app in
+    let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+    let p = Whisper_sim.Runner.profile ctx app in
+    Option.iter
+      (fun path ->
+        Profile_io.save p ~path;
+        Printf.printf "profile written to %s\n" path)
+      save;
+    Printf.printf "app              %s\n" app.Workloads.name;
+    Printf.printf "events           %d (%d instructions)\n"
+      (Profile.total_branches p) (Profile.total_instrs p);
+    Printf.printf "baseline MPKI    %.2f\n" (Profile.mpki p);
+    Printf.printf "static branches  %d\n" (Profile.n_static_branches p);
+    let cands = Profile.candidates p in
+    Printf.printf "candidates       %d\n" (Array.length cands);
+    Printf.printf "top mispredicting branches:\n";
+    Array.iteri
+      (fun i pc ->
+        if i < 10 then
+          match Profile.stat p ~pc with
+          | Some s ->
+              Printf.printf "  pc=0x%x execs=%d mispred=%d taken=%.0f%%\n" pc
+                s.Profile.execs s.Profile.mispred
+                (100.0 *. float_of_int s.Profile.taken_cnt
+                /. float_of_int (max 1 s.Profile.execs))
+          | None -> ())
+      cands
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Collect and summarize a profile")
+    Term.(const run $ app_arg $ events_arg 1_200_000 $ kb_arg $ save_arg)
+
+let analyze_cmd =
+  let load_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Analyze a saved profile instead of collecting one")
+  in
+  let save_plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-plan" ] ~docv:"FILE"
+          ~doc:"Write the hint-injection plan (the 'updated binary')")
+  in
+  let run app events kb load save_plan =
+    let app = find_app app in
+    let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+    let analysis =
+      match load with
+      | Some path -> Whisper_core.Analyze.run (Profile_io.load ~path)
+      | None -> Whisper_sim.Runner.whisper_analysis ctx app
+    in
+    Option.iter
+      (fun path ->
+        let cfg = Whisper_sim.Runner.cfg_of ctx app in
+        let plan =
+          Whisper_core.Inject.plan Whisper_core.Config.default cfg
+            ~source:
+              (App_model.source (App_model.create ~cfg ~config:app ~input:0 ()))
+            ~hints:(Whisper_core.Analyze.to_inject_hints analysis cfg)
+        in
+        Whisper_core.Plan_io.save plan ~path;
+        Printf.printf "injection plan written to %s\n" path)
+      save_plan;
+    Printf.printf "app             %s\n" app.Workloads.name;
+    Printf.printf "candidates      %d\n" analysis.Whisper_core.Analyze.considered;
+    Printf.printf "hints emitted   %d\n" (Whisper_core.Analyze.hint_count analysis);
+    Printf.printf "training time   %.2fs\n"
+      analysis.Whisper_core.Analyze.training_seconds;
+    Printf.printf "first hints:\n";
+    List.iteri
+      (fun i (pc, (c : Whisper_core.History_select.choice)) ->
+        if i < 10 then begin
+          let lengths = Workloads.lengths in
+          Printf.printf
+            "  pc=0x%x %s len=%d formula=%#x profile: %d -> %d mispredicts\n" pc
+            (match c.bias with
+            | Whisper_core.Brhint.Formula -> "formula"
+            | Whisper_core.Brhint.Always_taken -> "always "
+            | Whisper_core.Brhint.Never_taken -> "never  "
+            | Whisper_core.Brhint.Dynamic -> "dynamic")
+            lengths.(c.len_idx) c.formula_id c.baseline_mispred c.sample_mispred
+        end)
+      analysis.Whisper_core.Analyze.decisions
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run Whisper's offline branch analysis")
+    Term.(
+      const run $ app_arg $ events_arg 1_200_000 $ kb_arg $ load_arg
+      $ save_plan_arg)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.pt"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  let run app events input out =
+    let app = find_app app in
+    let cfg = Workloads.build_cfg app in
+    let m = App_model.create ~cfg ~config:app ~input () in
+    let events_arr = Branch.take (App_model.source m) events in
+    let encoded = Pt_codec.encode ~cfg events_arr in
+    let oc = open_out_bin out in
+    output_bytes oc encoded;
+    close_out oc;
+    (* verify the round trip, as a real collector's self-check would *)
+    let decoded = Pt_codec.decode ~cfg encoded in
+    assert (decoded = events_arr);
+    Printf.printf "wrote %d events to %s (%d bytes, %.2f bytes/branch)\n" events
+      out (Bytes.length encoded)
+      (float_of_int (Bytes.length encoded) /. float_of_int events);
+    Printf.printf "round-trip verified\n"
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Record a PT-encoded branch trace")
+    Term.(const run $ app_arg $ events_arg 100_000 $ input_arg $ out_arg)
+
+let classify_cmd =
+  let run app events kb input =
+    let app = find_app app in
+    let cfg = Workloads.build_cfg app in
+    let sizes = Whisper_bpu.Sizes.for_budget ~kb in
+    let entries =
+      sizes.Whisper_bpu.Sizes.tage.Whisper_bpu.Tage.n_tables
+      * (1 lsl sizes.Whisper_bpu.Sizes.tage.Whisper_bpu.Tage.log_entries)
+    in
+    let classifier = Whisper_core.Classify.create ~capacity_entries:entries () in
+    let p = Whisper_bpu.Tage_scl.predictor sizes in
+    let src = App_model.source (App_model.create ~cfg ~config:app ~input ()) in
+    for _ = 1 to events do
+      let e = src () in
+      let pred = p.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
+      p.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
+      ignore
+        (Whisper_core.Classify.note classifier ~pc:e.Branch.pc
+           ~taken:e.Branch.taken
+           ~mispredicted:(pred <> e.Branch.taken))
+    done;
+    let c = Whisper_core.Classify.counts classifier in
+    Printf.printf "app           %s (input %d, %dKB baseline)
+"
+      app.Workloads.name input kb;
+    Printf.printf "mispredicts   %d
+" (Whisper_core.Classify.total c);
+    Format.printf "breakdown     %a@." Whisper_core.Classify.pp_counts c
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Classify one application's mispredictions (compulsory/capacity/conflict/conditional)")
+    Term.(const run $ app_arg $ events_arg 1_200_000 $ kb_arg $ input_arg)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id (table1..fig23) or 'all'")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write results as CSV files")
+  in
+  let run id events kb csv_dir =
+    let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+    let ids =
+      if id = "all" then Whisper_sim.Experiments.all_ids else [ id ]
+    in
+    List.iter
+      (fun id ->
+        match Whisper_sim.Experiments.by_id id with
+        | None ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            exit 1
+        | Some f ->
+            let t0 = Unix.gettimeofday () in
+            let report = f ctx in
+            Whisper_sim.Report.print report;
+            Printf.printf "  (%.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
+            Option.iter
+              (fun dir ->
+                (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                let oc = open_out (Filename.concat dir (id ^ ".csv")) in
+                output_string oc (Whisper_sim.Report.to_csv report);
+                close_out oc)
+              csv_dir)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
+    Term.(const run $ id_arg $ events_arg 1_200_000 $ kb_arg $ csv_arg)
+
+let () =
+  let info =
+    Cmd.info "whisper" ~version:"1.0.0"
+      ~doc:"Profile-guided branch misprediction elimination (MICRO'22 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            simulate_cmd;
+            profile_cmd;
+            analyze_cmd;
+            classify_cmd;
+            trace_cmd;
+            experiment_cmd;
+          ]))

@@ -1,0 +1,72 @@
+(* Data-center branch characterization study (paper §II on a budget).
+
+     dune exec examples/datacenter_study.exe
+
+   Reproduces the motivation narrative on three applications: how much an
+   ideal direction predictor would buy (limit study), where the baseline's
+   mispredictions come from (class breakdown), and how spread out they are
+   across static branches. *)
+
+open Whisper_trace
+open Whisper_sim
+open Whisper_pipeline
+
+let apps = [ "finagle-http"; "cassandra"; "mysql" ]
+let events = 600_000
+
+let () =
+  let ctx = Runner.create_ctx ~events () in
+  Printf.printf "Limit study over %d branch events per application\n\n" events;
+  Printf.printf "%-16s %8s %14s %14s %12s\n" "app" "MPKI"
+    "ideal-speedup%" "misp-stall-pp" "fe-stall-pp";
+  List.iter
+    (fun name ->
+      let app = Option.get (Workloads.by_name name) in
+      let base = Runner.run ctx app Runner.Baseline in
+      let ideal = Runner.run ctx app Runner.Ideal in
+      let total = Machine.speedup_pct ~baseline:base ~improved:ideal in
+      let misp_pp =
+        100.0
+        *. (base.Machine.misp_stall -. ideal.Machine.misp_stall)
+        /. ideal.Machine.cycles
+      in
+      let fe_pp =
+        100.0
+        *. (base.Machine.fe_stall -. ideal.Machine.fe_stall)
+        /. ideal.Machine.cycles
+      in
+      Printf.printf "%-16s %8.2f %14.1f %14.1f %12.1f\n" name
+        (Machine.mpki base) total misp_pp fe_pp)
+    apps;
+
+  Printf.printf
+    "\nAs in the paper's Fig. 1, most of the ideal predictor's win is\n\
+     squash cycles, but a large minority is *frontend* stall reduction:\n\
+     fewer resteers keep FDIP far enough ahead to hide I-cache misses.\n\n";
+
+  (* misprediction dispersion (paper Fig. 5) *)
+  Printf.printf "%-16s %26s\n" "app" "top-N branch share of mispredicts";
+  Printf.printf "%-16s %8s %8s %8s %8s\n" "" "N=16" "N=256" "N=2048" "N=all";
+  List.iter
+    (fun name ->
+      let app = Option.get (Workloads.by_name name) in
+      let prof = Runner.profile ctx app in
+      let per_branch = ref [] in
+      Profile.iter_stats prof ~f:(fun ~pc:_ s ->
+          per_branch := s.Profile.mispred :: !per_branch);
+      let sorted = List.sort (fun a b -> compare b a) !per_branch |> Array.of_list in
+      let total = float_of_int (max 1 (Array.fold_left ( + ) 0 sorted)) in
+      let share n =
+        let n = min n (Array.length sorted) in
+        let s = ref 0 in
+        for i = 0 to n - 1 do
+          s := !s + sorted.(i)
+        done;
+        100.0 *. float_of_int !s /. total
+      in
+      Printf.printf "%-16s %7.1f%% %7.1f%% %7.1f%% %7d\n" name (share 16)
+        (share 256) (share 2048) (Array.length sorted))
+    apps;
+  Printf.printf
+    "\nMispredictions are spread across thousands of branches — the\n\
+     property that defeats per-branch CNN approaches (paper §II-D).\n"

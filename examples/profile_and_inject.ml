@@ -1,0 +1,73 @@
+(* Trace collection, profile merging and hint injection internals.
+
+     dune exec examples/profile_and_inject.exe
+
+   Shows the pieces a deployment would wire together: the PT-like trace
+   codec, profiles merged across workload inputs (paper Fig. 18), and
+   where the conditional-probability correlation algorithm places each
+   brhint (paper §IV). *)
+
+open Whisper_trace
+open Whisper_core
+
+let () =
+  let app = Option.get (Workloads.by_name "kafka") in
+  let cfg = Workloads.build_cfg app in
+
+  (* 1. record a short in-production trace and verify the codec *)
+  let m = App_model.create ~cfg ~config:app ~input:0 () in
+  let events = Branch.take (App_model.source m) 50_000 in
+  let encoded = Pt_codec.encode ~cfg events in
+  Printf.printf "PT-encoded %d events into %d bytes (%.2f bits/branch)\n"
+    (Array.length events) (Bytes.length encoded)
+    (8.0 *. float_of_int (Bytes.length encoded) /. float_of_int (Array.length events));
+  assert (Pt_codec.decode ~cfg encoded = events);
+  Printf.printf "decode round-trip OK\n\n";
+
+  (* 2. profiles from two inputs, merged *)
+  let mk_pred () =
+    let p = Whisper_bpu.Tage_scl.predictor Whisper_bpu.Sizes.standard in
+    fun ~pc ~taken ->
+      let pred = p.Whisper_bpu.Predictor.predict ~pc in
+      p.train ~pc ~taken;
+      pred = taken
+  in
+  let collect input =
+    Profile.collect ~lengths:Workloads.lengths ~events:400_000
+      ~make_source:(fun () ->
+        App_model.source (App_model.create ~cfg ~config:app ~input ()))
+      ~make_predictor:mk_pred ()
+  in
+  let p0 = collect 0 and p1 = collect 1 in
+  let merged = Profile.merge [ p0; p1 ] in
+  Printf.printf "profile input#0: MPKI %.2f, %d candidates\n" (Profile.mpki p0)
+    (Array.length (Profile.candidates p0));
+  Printf.printf "profile input#1: MPKI %.2f, %d candidates\n" (Profile.mpki p1)
+    (Array.length (Profile.candidates p1));
+  Printf.printf "merged          : MPKI %.2f, %d candidates\n\n"
+    (Profile.mpki merged)
+    (Array.length (Profile.candidates merged));
+
+  (* 3. analysis + injection: inspect the first placements *)
+  let analysis = Analyze.run merged in
+  let plan =
+    Inject.plan Config.default cfg
+      ~source:(App_model.source (App_model.create ~cfg ~config:app ~input:0 ()))
+      ~hints:(Analyze.to_inject_hints analysis cfg)
+  in
+  Printf.printf "%d hints placed, %d dropped (12-bit PC offset out of reach)\n"
+    (List.length plan.Inject.placements) plan.Inject.dropped;
+  Printf.printf "%-12s %-12s %-10s %-10s %s\n" "branch-blk" "host-blk"
+    "cond-prob" "encoded" "decoded hint";
+  List.iteri
+    (fun i (p : Inject.placement) ->
+      if i < 8 then begin
+        let enc = Brhint.encode p.hint in
+        assert (Brhint.decode enc = p.hint);
+        Printf.printf "%-12d %-12d %-10.2f %#-10x %s\n" p.branch_block
+          p.host_block p.cond_prob enc
+          (Format.asprintf "%a" Brhint.pp p.hint)
+      end)
+    plan.Inject.placements;
+  Printf.printf "\nstatic overhead %.2f%% of instructions\n"
+    (Inject.static_overhead_pct plan cfg)

@@ -1,0 +1,51 @@
+(* Quickstart: the whole Whisper pipeline on one application, in ~40 lines
+   of client code.
+
+     dune exec examples/quickstart.exe
+
+   Steps (paper Fig. 10): generate a data-center-like workload, collect an
+   in-production profile against the 64 KB TAGE-SC-L baseline, run the
+   offline branch analysis, inject brhint instructions, and compare the
+   baseline and Whisper-assisted runs on a different workload input. *)
+
+open Whisper_trace
+open Whisper_sim
+
+let () =
+  let events = 600_000 in
+  let app = Option.get (Workloads.by_name "cassandra") in
+  let ctx = Runner.create_ctx ~events () in
+
+  (* 1. in-production profiling (Intel PT + LBR stand-in) *)
+  let profile = Runner.profile ctx app in
+  Printf.printf "profiled %d branch events: baseline MPKI %.2f, %d static branches\n"
+    (Profile.total_branches profile) (Profile.mpki profile)
+    (Profile.n_static_branches profile);
+
+  (* 2. offline branch analysis: history lengths + Boolean formulas *)
+  let analysis = Runner.whisper_analysis ctx app in
+  Printf.printf "analysis picked %d hints from %d candidates in %.2fs\n"
+    (Whisper_core.Analyze.hint_count analysis)
+    analysis.Whisper_core.Analyze.considered
+    analysis.Whisper_core.Analyze.training_seconds;
+
+  (* 3. link-time hint injection *)
+  let plan = Runner.whisper_plan ctx app in
+  Printf.printf "injected %d brhint instructions (static overhead %.2f%%)\n"
+    (List.length plan.Whisper_core.Inject.placements)
+    (Whisper_core.Inject.static_overhead_pct plan (Runner.cfg_of ctx app));
+
+  (* 4. run both binaries on a different input *)
+  let base = Runner.run ctx app Runner.Baseline in
+  let whisper = Runner.run ctx app (Runner.Whisper Whisper_core.Config.default) in
+  let open Whisper_pipeline.Machine in
+  Printf.printf "\n%-22s %10s %10s %8s\n" "" "mispredicts" "MPKI" "IPC";
+  Printf.printf "%-22s %10d %10.2f %8.3f\n" "tage-scl-64KB" base.mispredicts
+    (mpki base) (ipc base);
+  Printf.printf "%-22s %10d %10.2f %8.3f\n" "whisper+tage-scl-64KB"
+    whisper.mispredicts (mpki whisper) (ipc whisper);
+  Printf.printf "\nWhisper eliminated %.1f%% of mispredictions for a %.2f%% speedup\n"
+    (Whisper_util.Stats.reduction_pct
+       ~baseline:(float_of_int base.mispredicts)
+       ~improved:(float_of_int whisper.mispredicts))
+    (speedup_pct ~baseline:base ~improved:whisper)

@@ -1,0 +1,50 @@
+(* Design-parameter sensitivity (paper §V-B "Sensitivity analysis").
+
+     dune exec examples/sensitivity.exe
+
+   Two of the knobs behind Table III: the run-time hint buffer size (the
+   paper settles on 32 entries) and the history-hashing operation (the
+   paper settles on XOR).  Also demonstrates restricting the formula
+   family to classic and/or, the Fig. 14 ablation. *)
+
+open Whisper_trace
+open Whisper_sim
+
+let events = 400_000
+let app_name = "postgres"
+
+let reduction ctx app config =
+  let base = Runner.run ctx app Runner.Baseline in
+  let w = Runner.run ctx app (Runner.Whisper config) in
+  Whisper_util.Stats.reduction_pct
+    ~baseline:(float_of_int base.Whisper_pipeline.Machine.mispredicts)
+    ~improved:(float_of_int w.Whisper_pipeline.Machine.mispredicts)
+
+let () =
+  let app = Option.get (Workloads.by_name app_name) in
+  let ctx = Runner.create_ctx ~events () in
+
+  Printf.printf "hint buffer sensitivity (%s, %d events)\n" app_name events;
+  Printf.printf "%8s %12s\n" "entries" "reduction-%";
+  List.iter
+    (fun size ->
+      let config =
+        { Whisper_core.Config.default with hint_buffer_size = size }
+      in
+      Printf.printf "%8d %12.1f\n" size (reduction ctx app config))
+    [ 4; 8; 16; 32; 64; 128 ];
+
+  Printf.printf
+    "\nformula family (Fig. 14 ablation: classic and/or vs + imp/cnimp)\n";
+  List.iter
+    (fun (label, ops) ->
+      let config = { Whisper_core.Config.default with ops } in
+      Printf.printf "%-18s %12.1f\n" label (reduction ctx app config))
+    [ ("classic-and/or", `Classic); ("extended-4ops", `Extended) ];
+
+  Printf.printf "\nexploration fraction (Fig. 15 flavour)\n";
+  List.iter
+    (fun frac ->
+      let config = { Whisper_core.Config.default with explore_frac = frac } in
+      Printf.printf "%7.2f%% %12.1f\n" (100.0 *. frac) (reduction ctx app config))
+    [ 0.0005; 0.001; 0.01 ]

@@ -1,0 +1,12 @@
+(** PC-indexed table of 2-bit saturating counters — the base predictor of
+    TAGE and the simplest stand-alone dynamic baseline. *)
+
+val make : log_entries:int -> Predictor.t
+
+(** Internal access used by composite predictors. *)
+type table
+
+val create_table : log_entries:int -> table
+val predict_t : table -> pc:int -> bool
+val update_t : table -> pc:int -> taken:bool -> unit
+val bits : table -> int

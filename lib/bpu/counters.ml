@@ -1,0 +1,4 @@
+let inc c ~max = if c >= max then max else c + 1
+let dec c ~min = if c <= min then min else c - 1
+let update c ~taken ~min ~max = if taken then inc c ~max else dec c ~min
+let taken_of c ~mid = c >= mid

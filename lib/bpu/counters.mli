@@ -1,0 +1,13 @@
+(** Saturating-counter arithmetic shared by every table-based predictor. *)
+
+val inc : int -> max:int -> int
+(** Increment, saturating at [max]. *)
+
+val dec : int -> min:int -> int
+(** Decrement, saturating at [min]. *)
+
+val update : int -> taken:bool -> min:int -> max:int -> int
+(** Move a counter toward taken (up) or not-taken (down). *)
+
+val taken_of : int -> mid:int -> bool
+(** Direction read-out: counter value [>= mid] means taken. *)

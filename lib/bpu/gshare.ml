@@ -1,0 +1,37 @@
+type t = {
+  ctrs : Bytes.t;
+  mask : int;
+  hist_mask : int;
+  mutable ghist : int;
+}
+
+let index t pc = ((pc lsr 2) lxor (t.ghist land t.hist_mask)) land t.mask
+
+let make ~log_entries ~hist_bits =
+  if log_entries < 1 || log_entries > 26 then invalid_arg "Gshare.make";
+  if hist_bits < 1 || hist_bits > 30 then invalid_arg "Gshare.make";
+  let n = 1 lsl log_entries in
+  let t =
+    {
+      ctrs = Bytes.make n '\001';
+      mask = n - 1;
+      hist_mask = (1 lsl hist_bits) - 1;
+      ghist = 0;
+    }
+  in
+  let push taken = t.ghist <- ((t.ghist lsl 1) lor if taken then 1 else 0) in
+  {
+    Predictor.name = Printf.sprintf "gshare-%dk" (n / 1024);
+    predict =
+      (fun ~pc -> Char.code (Bytes.unsafe_get t.ctrs (index t pc)) >= 2);
+    train =
+      (fun ~pc ~taken ->
+        let i = index t pc in
+        let c = Char.code (Bytes.unsafe_get t.ctrs i) in
+        Bytes.unsafe_set t.ctrs i
+          (Char.unsafe_chr (Counters.update c ~taken ~min:0 ~max:3));
+        push taken);
+    spectate = (fun ~pc:_ ~taken -> push taken);
+    storage_bits = 2 * n;
+    is_oracle = false;
+  }

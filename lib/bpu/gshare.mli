@@ -1,0 +1,4 @@
+(** Gshare (McFarling): 2-bit counters indexed by PC XOR global history.
+    A historical baseline used by tests and ablation benches. *)
+
+val make : log_entries:int -> hist_bits:int -> Predictor.t

@@ -1,0 +1,76 @@
+type entry = {
+  mutable tag : int;
+  mutable past_iter : int;
+  mutable cur_iter : int;
+  mutable conf : int;  (* 0..7; confident at >= 3 *)
+  mutable dir : bool;  (* body direction (the repeated outcome) *)
+  mutable age : int;
+}
+
+type t = { entries : entry array; mask : int; log : int }
+
+let max_iter = 1023
+
+let create ~log_entries =
+  if log_entries < 1 || log_entries > 16 then invalid_arg "Loop_pred.create";
+  let n = 1 lsl log_entries in
+  {
+    entries =
+      Array.init n (fun _ ->
+          { tag = -1; past_iter = 0; cur_iter = 0; conf = 0; dir = true; age = 0 });
+    mask = n - 1;
+    log = log_entries;
+  }
+
+let storage_bits t =
+  (* tag 10 + 2 iteration counters (10 each) + conf 3 + dir 1 + age 3 *)
+  Array.length t.entries * (10 + 10 + 10 + 3 + 1 + 3)
+
+let slot t pc = t.entries.((pc lsr 2) land t.mask)
+
+(* the tag covers the PC bits *above* the index, so aliasing is detected *)
+let tag_of t pc = (pc lsr (2 + t.log)) land 0x3FF
+
+let predict t ~pc =
+  let e = slot t pc in
+  if e.tag = tag_of t pc && e.conf >= 3 && e.past_iter > 0 then
+    (* after past_iter-1 body outcomes, the next one exits *)
+    Some (if e.cur_iter + 1 >= e.past_iter then not e.dir else e.dir)
+  else None
+
+let train t ~pc ~taken ~tage_mispredicted =
+  let e = slot t pc in
+  if e.tag = tag_of t pc then begin
+    e.age <- min 7 (e.age + 1);
+    if taken = e.dir then begin
+      e.cur_iter <- e.cur_iter + 1;
+      if e.cur_iter > max_iter then begin
+        (* not a bounded loop; drop confidence *)
+        e.conf <- 0;
+        e.cur_iter <- 0;
+        e.past_iter <- 0
+      end
+    end
+    else begin
+      (* iteration run ended *)
+      let run = e.cur_iter + 1 in
+      if run = e.past_iter then e.conf <- min 7 (e.conf + 1)
+      else begin
+        e.past_iter <- run;
+        e.conf <- 0
+      end;
+      e.cur_iter <- 0
+    end
+  end
+  else if tage_mispredicted then begin
+    (* allocate if the resident entry is stale *)
+    if e.age = 0 || e.conf = 0 then begin
+      e.tag <- tag_of t pc;
+      e.past_iter <- 0;
+      e.cur_iter <- 0;
+      e.conf <- 0;
+      e.dir <- taken;
+      e.age <- 3
+    end
+    else e.age <- e.age - 1
+  end

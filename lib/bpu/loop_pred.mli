@@ -1,0 +1,16 @@
+(** Loop predictor (the "L" of TAGE-SC-L): learns branches with a fixed
+    iteration count and predicts the loop exit exactly, overriding TAGE
+    once confident. *)
+
+type t
+
+val create : log_entries:int -> t
+
+val storage_bits : t -> int
+
+val predict : t -> pc:int -> bool option
+(** [Some dir] when the entry is confident; [None] otherwise. *)
+
+val train : t -> pc:int -> taken:bool -> tage_mispredicted:bool -> unit
+(** Update the entry for [pc]; allocate when TAGE mispredicted and no
+    entry exists. *)

@@ -1,0 +1,14 @@
+(** MTAGE-SC stand-in: the best unlimited-storage predictor of CBP-5,
+    approximated as an exact-substream TAGE — tagged tables with
+    unbounded capacity and collision-free (64-bit folded) keys across a
+    geometric series of history lengths.  Used for the paper's limit
+    comparisons (Figs. 12, 21: MPKI 1.4 vs. 1.9 for 1 MB TAGE-SC-L).
+
+    With unbounded entries, every (PC, history-window) substream that
+    repeats is eventually memorized, so residual mispredictions come only
+    from compulsory accesses, genuinely data-dependent branches and
+    model noise — the behaviour the paper ascribes to MTAGE-SC. *)
+
+val predictor : ?n_lengths:int -> ?max_len:int -> unit -> Predictor.t
+(** Defaults: 9 lengths, 8–1024. Reported [storage_bits] is 0 (unlimited
+    category). *)

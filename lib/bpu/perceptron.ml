@@ -1,0 +1,68 @@
+type t = {
+  weights : int array array;  (* per entry: bias + one weight per bit *)
+  mask : int;
+  h : int;
+  theta : int;
+  mutable ghist : int;
+  mutable ctx_pc : int;
+  mutable ctx_sum : int;
+}
+
+let make ?(hist_bits = 32) ?(log_entries = 10) ?theta () =
+  if hist_bits < 1 || hist_bits > 62 then invalid_arg "Perceptron.make";
+  let theta =
+    match theta with
+    | Some t -> t
+    | None -> int_of_float ((2.14 *. float_of_int hist_bits) +. 20.6)
+  in
+  let n = 1 lsl log_entries in
+  let t =
+    {
+      weights = Array.init n (fun _ -> Array.make (hist_bits + 1) 0);
+      mask = n - 1;
+      h = hist_bits;
+      theta;
+      ghist = 0;
+      ctx_pc = 0;
+      ctx_sum = 0;
+    }
+  in
+  let sum pc =
+    let w = t.weights.((pc lsr 2) land t.mask) in
+    let s = ref w.(0) in
+    for i = 1 to t.h do
+      let bit = (t.ghist lsr (i - 1)) land 1 in
+      s := !s + if bit = 1 then w.(i) else -w.(i)
+    done;
+    !s
+  in
+  let clamp v = if v > 127 then 127 else if v < -128 then -128 else v in
+  {
+    Predictor.name = Printf.sprintf "perceptron-h%d" hist_bits;
+    predict =
+      (fun ~pc ->
+        let s = sum pc in
+        t.ctx_pc <- pc;
+        t.ctx_sum <- s;
+        s >= 0);
+    train =
+      (fun ~pc ~taken ->
+        if pc <> t.ctx_pc then invalid_arg "Perceptron.train: mismatch";
+        let pred = t.ctx_sum >= 0 in
+        if pred <> taken || abs t.ctx_sum <= t.theta then begin
+          let w = t.weights.((pc lsr 2) land t.mask) in
+          let dir = if taken then 1 else -1 in
+          w.(0) <- clamp (w.(0) + dir);
+          for i = 1 to t.h do
+            let bit = (t.ghist lsr (i - 1)) land 1 in
+            let x = if bit = 1 then 1 else -1 in
+            w.(i) <- clamp (w.(i) + (dir * x))
+          done
+        end;
+        t.ghist <- (t.ghist lsl 1) lor (if taken then 1 else 0));
+    spectate =
+      (fun ~pc:_ ~taken ->
+        t.ghist <- (t.ghist lsl 1) lor if taken then 1 else 0);
+    storage_bits = n * (hist_bits + 1) * 8;
+    is_oracle = false;
+  }

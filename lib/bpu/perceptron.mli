@@ -1,0 +1,7 @@
+(** Hashed perceptron predictor (Jiménez & Lin, HPCA'01) — the other major
+    online predictor family the paper discusses (§VI).  Included as an
+    additional baseline for ablation benches. *)
+
+val make : ?hist_bits:int -> ?log_entries:int -> ?theta:int -> unit -> Predictor.t
+(** Defaults: 32 history bits, 2^10 weight vectors, theta = 2.14*32+20.6
+    rounded (the original paper's threshold formula). *)

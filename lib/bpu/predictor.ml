@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  predict : pc:int -> bool;
+  train : pc:int -> taken:bool -> unit;
+  spectate : pc:int -> taken:bool -> unit;
+  storage_bits : int;
+  is_oracle : bool;
+}
+
+let always_taken () =
+  {
+    name = "always-taken";
+    predict = (fun ~pc:_ -> true);
+    train = (fun ~pc:_ ~taken:_ -> ());
+    spectate = (fun ~pc:_ ~taken:_ -> ());
+    storage_bits = 0;
+    is_oracle = false;
+  }
+
+let ideal () =
+  {
+    name = "ideal";
+    predict = (fun ~pc:_ -> true);
+    train = (fun ~pc:_ ~taken:_ -> ());
+    spectate = (fun ~pc:_ ~taken:_ -> ());
+    storage_bits = 0;
+    is_oracle = true;
+  }

@@ -1,0 +1,30 @@
+(** Uniform interface over all branch direction predictors in the study.
+
+    The simulation protocol is strict: for every dynamic branch the runner
+    calls [predict ~pc] first and then exactly one of
+
+    - [train ~pc ~taken] — full update (counters, allocation, history), or
+    - [spectate ~pc ~taken] — history-only update.
+
+    [spectate] models Whisper's run-time rule that hinted branches do not
+    allocate or train predictor state, freeing capacity for the remaining
+    branches (paper §IV, "Run-time hint usage"), while the global history
+    must still advance with the branch's outcome. *)
+
+type t = {
+  name : string;
+  predict : pc:int -> bool;
+  train : pc:int -> taken:bool -> unit;
+      (** must follow a [predict] call for the same branch *)
+  spectate : pc:int -> taken:bool -> unit;
+  storage_bits : int;  (** approximate hardware budget of the predictor *)
+  is_oracle : bool;
+      (** oracle predictors are always counted correct by runners *)
+}
+
+val always_taken : unit -> t
+(** Static predictor, the weakest baseline. *)
+
+val ideal : unit -> t
+(** The paper's ideal direction predictor (Fig. 1): every conditional
+    branch direction is predicted correctly. *)

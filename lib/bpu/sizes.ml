@@ -1,0 +1,42 @@
+type t = {
+  budget_kb : int;
+  tage : Tage.params;
+  loop_log : int;
+  sc_log : int;
+}
+
+let for_budget ~kb =
+  if kb < 8 || kb > 8192 || not (Whisper_util.Bitops.is_power_of_two kb) then
+    invalid_arg "Sizes.for_budget";
+  let steps = Whisper_util.Bitops.log2_ceil (kb / 8) in
+  (* 8 KB -> 2^8-entry tagged tables; each doubling of budget doubles the
+     tagged tables and grows tags/bimodal, as in the CBP submissions. *)
+  let log_entries = 8 + steps in
+  let tag_bits = min 14 (10 + ((steps + 1) / 2)) in
+  let tage =
+    {
+      Tage.n_tables = 12;
+      log_entries;
+      tag_bits;
+      min_len = 8;
+      max_len = 1024;
+      log_bimodal = min 18 (13 + steps);
+      u_reset_period = 1 lsl 18;
+    }
+  in
+  {
+    budget_kb = kb;
+    tage;
+    loop_log = min 8 (4 + steps);
+    sc_log = min 15 (9 + steps);
+  }
+
+let standard = for_budget ~kb:64
+
+let total_bits t =
+  let e = 1 lsl t.tage.Tage.log_entries in
+  let tage_bits = t.tage.Tage.n_tables * e * (t.tage.Tage.tag_bits + 5) in
+  let bimodal_bits = 2 * (1 lsl t.tage.Tage.log_bimodal) in
+  let loop_bits = (1 lsl t.loop_log) * 37 in
+  let sc_bits = 6 * (1 lsl t.sc_log) * 5 in
+  tage_bits + bimodal_bits + loop_bits + sc_bits

@@ -1,0 +1,20 @@
+(** Storage-budget scaling for TAGE-SC-L (paper Figs. 20–21 sweep the
+    baseline from 8 KB to 1 MB). *)
+
+type t = {
+  budget_kb : int;
+  tage : Tage.params;
+  loop_log : int;
+  sc_log : int;
+}
+
+val for_budget : kb:int -> t
+(** Configuration for a power-of-two budget between 8 and 8192 KB.
+    @raise Invalid_argument otherwise. *)
+
+val standard : t
+(** The paper's 64 KB baseline. *)
+
+val total_bits : t -> int
+(** Accounted storage of the configuration (within ~25 % of the nominal
+    budget, matching how the CBP predictors are sized). *)

@@ -1,0 +1,110 @@
+open Whisper_util
+
+let hist_lens = [| 4; 10; 16; 27 |]
+let initial_threshold = 12
+
+type t = {
+  bias : int array;  (* signed 6-bit counters, per PC *)
+  banks : int array array;  (* one bank per history length *)
+  mask : int;
+  hist : History.t;
+  folded : History.Folded.t array;
+  log_entries : int;
+  (* adaptive veto threshold (Seznec's TC mechanism): harmful vetoes
+     raise the bar, successful ones lower it *)
+  mutable threshold : int;
+  mutable tc : int;
+  (* refine-time context *)
+  mutable ctx_pc : int;
+  mutable ctx_sum : int;
+  mutable ctx_used_sc : bool;
+  mutable ctx_pred : bool;
+  mutable ctx_sc_pred : bool;
+  mutable ctx_tage_pred : bool;
+}
+
+let create ~log_entries =
+  if log_entries < 1 || log_entries > 22 then invalid_arg "Stat_corrector.create";
+  let n = 1 lsl log_entries in
+  {
+    bias = Array.make n 0;
+    banks = Array.map (fun _ -> Array.make n 0) hist_lens;
+    mask = n - 1;
+    hist = History.create ~depth:64;
+    folded =
+      Array.map (fun len -> History.Folded.create ~len ~chunk:log_entries) hist_lens;
+    log_entries;
+    threshold = initial_threshold;
+    tc = 0;
+    ctx_pc = 0;
+    ctx_sum = 0;
+    ctx_used_sc = false;
+    ctx_pred = false;
+    ctx_sc_pred = false;
+    ctx_tage_pred = false;
+  }
+
+let storage_bits t =
+  6 * (t.mask + 1) * (1 + Array.length hist_lens)
+
+let index t k pc =
+  ((pc lsr 2) lxor History.Folded.value t.folded.(k) lxor (k * 0x9E5)) land t.mask
+
+let sum t pc =
+  let s = ref ((2 * t.bias.((pc lsr 2) land t.mask)) + 1) in
+  Array.iteri
+    (fun k bank -> s := !s + (2 * bank.(index t k pc)) + 1)
+    t.banks;
+  !s
+
+let refine ?(tage_conf = `Med) t ~pc ~tage_pred =
+  let s = sum t pc in
+  let sc_pred = s >= 0 in
+  (* veto only when TAGE itself is not confident: a small aliased
+     corrector must not override saturated provider counters *)
+  let gate =
+    match tage_conf with
+    | `High -> 4 * t.threshold
+    | `Med -> t.threshold
+    | `Low -> t.threshold / 2
+  in
+  let veto = sc_pred <> tage_pred && abs s > gate in
+  let final = if veto then sc_pred else tage_pred in
+  t.ctx_pc <- pc;
+  t.ctx_sum <- s;
+  t.ctx_used_sc <- veto;
+  t.ctx_pred <- final;
+  t.ctx_sc_pred <- sc_pred;
+  t.ctx_tage_pred <- tage_pred;
+  final
+
+let bump c ~taken = Counters.update c ~taken ~min:(-32) ~max:31
+
+let train t ~pc ~taken =
+  if pc <> t.ctx_pc then invalid_arg "Stat_corrector.train: mismatch";
+  let mispredicted = t.ctx_pred <> taken in
+  (* adapt the veto threshold on disagreements: a corrector that keeps
+     losing to TAGE must veto less *)
+  if t.ctx_sc_pred <> t.ctx_tage_pred then begin
+    t.tc <- t.tc + (if t.ctx_sc_pred = taken then 1 else -1);
+    if t.tc <= -16 then begin
+      t.threshold <- min 256 (t.threshold * 2);
+      t.tc <- 0
+    end
+    else if t.tc >= 16 then begin
+      t.threshold <- max 6 (t.threshold - 2);
+      t.tc <- 0
+    end
+  end;
+  if mispredicted || abs t.ctx_sum <= t.threshold then begin
+    let bi = (pc lsr 2) land t.mask in
+    t.bias.(bi) <- bump t.bias.(bi) ~taken;
+    Array.iteri
+      (fun k bank ->
+        let i = index t k pc in
+        bank.(i) <- bump bank.(i) ~taken)
+      t.banks
+  end;
+  History.push_all t.hist t.folded taken
+
+let spectate t ~taken = History.push_all t.hist t.folded taken

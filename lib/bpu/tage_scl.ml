@@ -1,0 +1,69 @@
+type t = {
+  sizes : Sizes.t;
+  tage : Tage.t;
+  sc : Stat_corrector.t;
+  loop : Loop_pred.t;
+  mutable ctx_pc : int;
+  mutable ctx_pred : bool;
+  mutable ctx_tage_pred : bool;
+  mutable ctx_loop_used : bool;
+}
+
+let create sizes =
+  {
+    sizes;
+    tage = Tage.create sizes.Sizes.tage;
+    sc = Stat_corrector.create ~log_entries:sizes.Sizes.sc_log;
+    loop = Loop_pred.create ~log_entries:sizes.Sizes.loop_log;
+    ctx_pc = 0;
+    ctx_pred = false;
+    ctx_tage_pred = false;
+    ctx_loop_used = false;
+  }
+
+let standard () = create Sizes.standard
+
+let storage_bits t = Sizes.total_bits t.sizes
+
+let predict t ~pc =
+  let tage_pred = Tage.predict t.tage ~pc in
+  let sc_pred =
+    Stat_corrector.refine ~tage_conf:(Tage.confidence t.tage) t.sc ~pc ~tage_pred
+  in
+  let final, loop_used =
+    match Loop_pred.predict t.loop ~pc with
+    | Some dir -> (dir, true)
+    | None -> (sc_pred, false)
+  in
+  t.ctx_pc <- pc;
+  t.ctx_pred <- final;
+  t.ctx_tage_pred <- tage_pred;
+  t.ctx_loop_used <- loop_used;
+  final
+
+let train t ~pc ~taken =
+  if pc <> t.ctx_pc then invalid_arg "Tage_scl.train: mismatch";
+  Loop_pred.train t.loop ~pc ~taken
+    ~tage_mispredicted:(t.ctx_tage_pred <> taken);
+  Stat_corrector.train t.sc ~pc ~taken;
+  Tage.train t.tage ~pc ~taken
+
+let debug_reason t =
+  if t.ctx_loop_used then "loop-override"
+  else if t.ctx_pred <> t.ctx_tage_pred then "sc-veto"
+  else "tage-wrong"
+
+let spectate t ~pc ~taken =
+  Stat_corrector.spectate t.sc ~taken;
+  Tage.spectate t.tage ~pc ~taken
+
+let predictor sizes =
+  let t = create sizes in
+  {
+    Predictor.name = Printf.sprintf "tage-scl-%dKB" sizes.Sizes.budget_kb;
+    predict = (fun ~pc -> predict t ~pc);
+    train = (fun ~pc ~taken -> train t ~pc ~taken);
+    spectate = (fun ~pc ~taken -> spectate t ~pc ~taken);
+    storage_bits = storage_bits t;
+    is_oracle = false;
+  }

@@ -1,0 +1,61 @@
+type t = {
+  a : Predictor.t;
+  b : Predictor.t;
+  chooser : Bytes.t;  (* 2-bit: >= 2 prefers [b] *)
+  mask : int;
+  mutable ctx_pc : int;
+  mutable ctx_pred_a : bool;
+  mutable ctx_pred_b : bool;
+}
+
+let predict t ~pc =
+  let pa = t.a.Predictor.predict ~pc in
+  let pb = t.b.Predictor.predict ~pc in
+  t.ctx_pc <- pc;
+  t.ctx_pred_a <- pa;
+  t.ctx_pred_b <- pb;
+  let c = Char.code (Bytes.unsafe_get t.chooser ((pc lsr 2) land t.mask)) in
+  if c >= 2 then pb else pa
+
+let train t ~pc ~taken =
+  if pc <> t.ctx_pc then invalid_arg "Tournament.train: mismatch";
+  (* chooser moves toward whichever component was right (only when they
+     disagree) *)
+  if t.ctx_pred_a <> t.ctx_pred_b then begin
+    let i = (pc lsr 2) land t.mask in
+    let c = Char.code (Bytes.unsafe_get t.chooser i) in
+    let c = Counters.update c ~taken:(t.ctx_pred_b = taken) ~min:0 ~max:3 in
+    Bytes.unsafe_set t.chooser i (Char.unsafe_chr c)
+  end;
+  t.a.train ~pc ~taken;
+  t.b.train ~pc ~taken
+
+let spectate t ~pc ~taken =
+  t.a.Predictor.spectate ~pc ~taken;
+  t.b.Predictor.spectate ~pc ~taken
+
+let make ?(log_chooser = 12) ~a ~b () =
+  let t =
+    {
+      a;
+      b;
+      chooser = Bytes.make (1 lsl log_chooser) '\001';
+      mask = (1 lsl log_chooser) - 1;
+      ctx_pc = 0;
+      ctx_pred_a = false;
+      ctx_pred_b = false;
+    }
+  in
+  {
+    Predictor.name = Printf.sprintf "tournament(%s,%s)" a.Predictor.name b.Predictor.name;
+    predict = (fun ~pc -> predict t ~pc);
+    train = (fun ~pc ~taken -> train t ~pc ~taken);
+    spectate = (fun ~pc ~taken -> spectate t ~pc ~taken);
+    storage_bits =
+      a.Predictor.storage_bits + b.Predictor.storage_bits
+      + (2 * (1 lsl log_chooser));
+    is_oracle = false;
+  }
+
+let default () =
+  make ~a:(Twolevel.pag ()) ~b:(Gshare.make ~log_entries:13 ~hist_bits:12) ()

@@ -1,0 +1,16 @@
+(** Alpha-21264-style tournament predictor: a per-PC chooser of 2-bit
+    counters arbitrates between two component predictors (classically a
+    local two-level and a global gshare).  Used by ablation benches as a
+    mid-1990s reference point between bimodal and TAGE. *)
+
+val make :
+  ?log_chooser:int ->
+  a:Predictor.t ->
+  b:Predictor.t ->
+  unit ->
+  Predictor.t
+(** The chooser learns, per PC, which component to trust; both components
+    are always trained. *)
+
+val default : unit -> Predictor.t
+(** [make ~a:(Twolevel.pag ()) ~b:(Gshare.make ...)]. *)

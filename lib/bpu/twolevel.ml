@@ -1,0 +1,64 @@
+type t = {
+  bhrs : int array;  (* first level: per-branch history registers *)
+  bhr_mask : int;
+  hist_mask : int;
+  pht : Bytes.t;  (* second level: 2-bit counters *)
+  pht_mask : int;
+  mutable ctx_idx : int;
+  mutable ctx_pc : int;
+}
+
+let make_pag ~log_bhr ~hist_bits ~log_pht =
+  if log_bhr < 0 || log_pht < 1 || hist_bits < 1 then invalid_arg "Twolevel";
+  {
+    bhrs = Array.make (1 lsl max 0 log_bhr) 0;
+    bhr_mask = (1 lsl max 0 log_bhr) - 1;
+    hist_mask = (1 lsl hist_bits) - 1;
+    pht = Bytes.make (1 lsl log_pht) '\001';
+    pht_mask = (1 lsl log_pht) - 1;
+    ctx_idx = 0;
+    ctx_pc = 0;
+  }
+
+let index t pc =
+  let bhr = t.bhrs.((pc lsr 2) land t.bhr_mask) in
+  (bhr lxor ((pc lsr 2) lsl 2)) land t.pht_mask
+
+let predict t ~pc =
+  let idx = index t pc in
+  t.ctx_idx <- idx;
+  t.ctx_pc <- pc;
+  Char.code (Bytes.unsafe_get t.pht idx) >= 2
+
+let train t ~pc ~taken =
+  if pc <> t.ctx_pc then invalid_arg "Twolevel.train: mismatch";
+  let c = Char.code (Bytes.unsafe_get t.pht t.ctx_idx) in
+  Bytes.unsafe_set t.pht t.ctx_idx
+    (Char.unsafe_chr (Counters.update c ~taken ~min:0 ~max:3));
+  let slot = (pc lsr 2) land t.bhr_mask in
+  t.bhrs.(slot) <-
+    ((t.bhrs.(slot) lsl 1) lor (if taken then 1 else 0)) land t.hist_mask
+
+let spectate t ~pc ~taken =
+  let slot = (pc lsr 2) land t.bhr_mask in
+  t.bhrs.(slot) <-
+    ((t.bhrs.(slot) lsl 1) lor (if taken then 1 else 0)) land t.hist_mask
+
+let wrap name t ~storage =
+  {
+    Predictor.name;
+    predict = (fun ~pc -> predict t ~pc);
+    train = (fun ~pc ~taken -> train t ~pc ~taken);
+    spectate = (fun ~pc ~taken -> spectate t ~pc ~taken);
+    storage_bits = storage;
+    is_oracle = false;
+  }
+
+let pag ?(log_bhr = 10) ?(hist_bits = 10) ?(log_pht = 12) () =
+  let t = make_pag ~log_bhr ~hist_bits ~log_pht in
+  wrap "pag-2level" t
+    ~storage:(((1 lsl log_bhr) * hist_bits) + (2 * (1 lsl log_pht)))
+
+let gag ?(hist_bits = 12) ?(log_pht = 12) () =
+  let t = make_pag ~log_bhr:0 ~hist_bits ~log_pht in
+  wrap "gag-2level" t ~storage:(hist_bits + (2 * (1 lsl log_pht)))

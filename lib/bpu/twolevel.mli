@@ -1,0 +1,13 @@
+(** Two-level adaptive predictors (Yeh & Patt, MICRO'91) — the classic
+    local-history family the paper's related work builds on (§VI cites
+    the two-level training scheme among history-based predictors).
+
+    PAg organization: a first-level table of per-branch history registers
+    indexes a shared second-level pattern table of 2-bit counters. *)
+
+val pag : ?log_bhr:int -> ?hist_bits:int -> ?log_pht:int -> unit -> Predictor.t
+(** [pag ()] with defaults: 2^10 history registers of 10 bits, 2^12
+    pattern counters. *)
+
+val gag : ?hist_bits:int -> ?log_pht:int -> unit -> Predictor.t
+(** GAg: a single global history register indexing the pattern table. *)

@@ -1,0 +1,119 @@
+open Whisper_trace
+
+type budget = Budget of int | Unlimited
+
+type t = {
+  models : (int, Model.t) Hashtbl.t;
+  budget : budget;
+  training_seconds : float;
+}
+
+(* The original BranchNet convolves over raw (PC, direction) history; our
+   surrogate consumes the raw last-56 outcomes as 7 feature bytes. *)
+let feature_bytes = 7
+
+(* Gather (features, outcome) pairs from a sample half. *)
+let gather profile ~pc ~part =
+  let xs = ref [] and ys = ref [] in
+  let i = ref 0 in
+  Profile.iter_samples profile ~pc ~f:(fun ~raw8:_ ~raw56 ~hash:_ ~taken ~correct:_ ->
+      let keep = if part = `Train then !i land 1 = 0 else !i land 1 = 1 in
+      incr i;
+      if keep then begin
+        xs := Array.init feature_bytes (fun b -> (raw56 lsr (8 * b)) land 0xFF) :: !xs;
+        ys := taken :: !ys
+      end);
+  (Array.of_list (List.rev !xs), Array.of_list (List.rev !ys))
+
+let eval_baseline profile ~pc ~part =
+  let mispred = ref 0 in
+  let i = ref 0 in
+  Profile.iter_samples profile ~pc ~f:(fun ~raw8:_ ~raw56:_ ~hash:_ ~taken:_ ~correct ->
+      let keep = if part = `Train then !i land 1 = 0 else !i land 1 = 1 in
+      incr i;
+      if keep && not correct then incr mispred);
+  !mispred
+
+let train ?(budget = Unlimited) ?(epochs = 12) ?(max_models = 256)
+    ?(min_eval_gain = 2) profile =
+  let t0 = Unix.gettimeofday () in
+  let models = Hashtbl.create 64 in
+  let used_bytes = ref 0 in
+  let budget_left () =
+    match budget with
+    | Unlimited -> Hashtbl.length models < max_models
+    | Budget b -> !used_bytes < b
+  in
+  let candidates = Profile.candidates profile in
+  let i = ref 0 in
+  while budget_left () && !i < Array.length candidates do
+    let pc = candidates.(!i) in
+    incr i;
+    if Profile.n_samples profile ~pc >= 16 then begin
+      let xs, ys = gather profile ~pc ~part:`Train in
+      let model = Model.create ~n_lengths:feature_bytes ~seed:(pc lxor 0xB4A2) () in
+      Model.train_sgd model ~xs ~ys ~epochs ~lr:0.05;
+      (* held-out acceptance, mirroring the other techniques *)
+      let exs, eys = gather profile ~pc ~part:`Eval in
+      let m = ref 0 in
+      Array.iteri
+        (fun s features ->
+          if Model.predict model ~features <> eys.(s) then incr m)
+        exs;
+      let baseline = eval_baseline profile ~pc ~part:`Eval in
+      let required = max min_eval_gain ((baseline + 9) / 10) in
+      if baseline - !m >= required then begin
+        (* the budget pays for every deployed model *)
+        (match budget with
+        | Budget b when !used_bytes + Model.storage_bytes model > b -> ()
+        | _ ->
+            Hashtbl.replace models pc model;
+            used_bytes := !used_bytes + Model.storage_bytes model)
+      end
+    end
+  done;
+  { models; budget; training_seconds = Unix.gettimeofday () -. t0 }
+
+let model_count t = Hashtbl.length t.models
+
+let storage_bytes t =
+  Hashtbl.fold (fun _ m acc -> acc + Model.storage_bytes m) t.models 0
+
+module Runtime = struct
+  type rt = {
+    spec : t;
+    base : Whisper_bpu.Predictor.t;
+    mutable ghist : int;  (* raw last-56 outcomes, newest in bit 0 *)
+    features : int array;
+    mutable n_covered : int;
+  }
+
+  let create spec ~baseline =
+    { spec; base = baseline; ghist = 0; features = Array.make feature_bytes 0; n_covered = 0 }
+
+  let exec rt (e : Branch.event) =
+    let covered =
+      match Hashtbl.find_opt rt.spec.models e.pc with
+      | None -> None
+      | Some model ->
+          for b = 0 to feature_bytes - 1 do
+            rt.features.(b) <- (rt.ghist lsr (8 * b)) land 0xFF
+          done;
+          Some (Model.predict model ~features:rt.features)
+    in
+    let correct =
+      match covered with
+      | Some pred ->
+          rt.n_covered <- rt.n_covered + 1;
+          rt.base.spectate ~pc:e.pc ~taken:e.taken;
+          pred = e.taken
+      | None ->
+          let pred = rt.base.predict ~pc:e.pc in
+          rt.base.train ~pc:e.pc ~taken:e.taken;
+          rt.base.is_oracle || pred = e.taken
+    in
+    rt.ghist <- ((rt.ghist lsl 1) lor (if e.taken then 1 else 0)) land 0xFF_FFFF_FFFF_FFFF;
+    correct
+
+  let covered_predictions rt = rt.n_covered
+end

@@ -1,0 +1,44 @@
+(** The BranchNet baseline end-to-end: storage-budgeted training over a
+    profile plus the hybrid run-time (paper §II-D, Figs. 4, 12–13, 16).
+
+    BranchNet deploys one model per covered static branch; on-chip
+    metadata budget divided by per-model size bounds coverage, so the
+    variants differ only in how many of the worst-mispredicting branches
+    get a model:
+
+    - [`Budget 8192] / [`Budget 32768] — the paper's practical 8 KB and
+      32 KB configurations;
+    - [`Unlimited] — the paper's impractical limit variant (coverage is
+      still bounded by candidate count and the per-branch training cost
+      that Fig. 16 highlights). *)
+
+type budget = Budget of int | Unlimited
+
+type t = {
+  models : (int, Model.t) Hashtbl.t;  (** per branch PC *)
+  budget : budget;
+  training_seconds : float;
+}
+
+val train :
+  ?budget:budget ->
+  ?epochs:int ->
+  ?max_models:int ->
+  ?min_eval_gain:int ->
+  Whisper_trace.Profile.t ->
+  t
+(** Train models for the top mispredicting candidates until the budget
+    (or [max_models], default 256 for [`Unlimited]) is exhausted; a model
+    is kept only when it beats the profiled baseline on held-out samples.
+    Defaults: [budget = Unlimited], [epochs] 12. *)
+
+val model_count : t -> int
+val storage_bytes : t -> int
+
+module Runtime : sig
+  type rt
+
+  val create : t -> baseline:Whisper_bpu.Predictor.t -> rt
+  val exec : rt -> Whisper_trace.Branch.event -> bool
+  val covered_predictions : rt -> int
+end

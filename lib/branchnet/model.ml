@@ -1,0 +1,82 @@
+open Whisper_util
+
+type t = {
+  hidden : int;
+  n_lengths : int;
+  n_in : int;  (* n_lengths * 8 binary inputs *)
+  w1 : float array array;  (* hidden x (n_in + 1), last column = bias *)
+  w2 : float array;  (* hidden + 1 *)
+}
+
+let create ?(hidden = 8) ?(n_lengths = 8) ~seed () =
+  let rng = Rng.create seed in
+  let n_in = n_lengths * 8 in
+  let init () = Rng.float rng 0.2 -. 0.1 in
+  {
+    hidden;
+    n_lengths;
+    n_in;
+    w1 = Array.init hidden (fun _ -> Array.init (n_in + 1) (fun _ -> init ()));
+    w2 = Array.init (hidden + 1) (fun _ -> init ());
+  }
+
+let n_inputs t = t.n_in
+
+(* features: one hash byte per length; inputs are +-1 per bit *)
+let input_bit features i =
+  let byte = features.(i lsr 3) in
+  if (byte lsr (i land 7)) land 1 = 1 then 1.0 else -1.0
+
+let hidden_acts t ~features out =
+  for h = 0 to t.hidden - 1 do
+    let w = t.w1.(h) in
+    let s = ref w.(t.n_in) in
+    for i = 0 to t.n_in - 1 do
+      s := !s +. (w.(i) *. input_bit features i)
+    done;
+    out.(h) <- tanh !s
+  done
+
+let forward t ~features =
+  let acts = Array.make t.hidden 0.0 in
+  hidden_acts t ~features acts;
+  let s = ref t.w2.(t.hidden) in
+  for h = 0 to t.hidden - 1 do
+    s := !s +. (t.w2.(h) *. acts.(h))
+  done;
+  !s
+
+let predict t ~features = forward t ~features >= 0.0
+
+let train_sgd t ~xs ~ys ~epochs ~lr =
+  if Array.length xs <> Array.length ys then invalid_arg "Model.train_sgd";
+  let acts = Array.make t.hidden 0.0 in
+  for _ = 1 to epochs do
+    Array.iteri
+      (fun s features ->
+        hidden_acts t ~features acts;
+        let out = ref t.w2.(t.hidden) in
+        for h = 0 to t.hidden - 1 do
+          out := !out +. (t.w2.(h) *. acts.(h))
+        done;
+        let target = if ys.(s) then 1.0 else -1.0 in
+        (* hinge-style update: only when the margin is insufficient *)
+        if target *. !out < 1.0 then begin
+          let g = lr *. target in
+          for h = 0 to t.hidden - 1 do
+            let gh = g *. t.w2.(h) *. (1.0 -. (acts.(h) *. acts.(h))) in
+            let w = t.w1.(h) in
+            for i = 0 to t.n_in - 1 do
+              w.(i) <- w.(i) +. (gh *. input_bit features i)
+            done;
+            w.(t.n_in) <- w.(t.n_in) +. gh;
+            t.w2.(h) <- t.w2.(h) +. (g *. acts.(h))
+          done;
+          t.w2.(t.hidden) <- t.w2.(t.hidden) +. g
+        end)
+      xs
+  done
+
+let storage_bytes t =
+  (* 8-bit quantized weights, as BranchNet's deployed inference engine *)
+  (t.hidden * (t.n_in + 1)) + t.hidden + 1

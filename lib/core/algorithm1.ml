@@ -1,0 +1,53 @@
+type tables = {
+  keys : int array;
+  taken : int array;  (* parallel to keys *)
+  not_taken : int array;
+  t_total : int;
+  nt_total : int;
+}
+
+let tables_of_counts ~taken ~not_taken =
+  if Array.length taken <> Array.length not_taken then
+    invalid_arg "Algorithm1.tables_of_counts";
+  let keys = ref [] in
+  Array.iteri
+    (fun k t -> if t > 0 || not_taken.(k) > 0 then keys := k :: !keys)
+    taken;
+  let keys = Array.of_list (List.rev !keys) in
+  {
+    keys;
+    taken = Array.map (fun k -> taken.(k)) keys;
+    not_taken = Array.map (fun k -> not_taken.(k)) keys;
+    t_total = Array.fold_left ( + ) 0 taken;
+    nt_total = Array.fold_left ( + ) 0 not_taken;
+  }
+
+let tables_total t = (t.t_total, t.nt_total)
+let distinct_keys t = Array.length t.keys
+
+let mispredictions t ~truth =
+  let m = ref 0 in
+  for i = 0 to Array.length t.keys - 1 do
+    if Whisper_formula.Tree.eval_tt truth t.keys.(i) then
+      (* formula predicts taken: not-taken samples mispredict *)
+      m := !m + t.not_taken.(i)
+    else m := !m + t.taken.(i)
+  done;
+  !m
+
+let always_mispredictions t = t.nt_total
+let never_mispredictions t = t.t_total
+
+let find t ~candidates ~truth_of =
+  if Array.length candidates = 0 then invalid_arg "Algorithm1.find";
+  let best_f = ref candidates.(0) in
+  let best_m = ref max_int in
+  Array.iter
+    (fun f ->
+      let m = mispredictions t ~truth:(truth_of f) in
+      if m < !best_m then begin
+        best_m := m;
+        best_f := f
+      end)
+    candidates;
+  (!best_f, !best_m)

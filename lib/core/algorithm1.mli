@@ -1,0 +1,37 @@
+(** FIND-BOOLEAN-FORMULA (paper Algorithm 1).
+
+    Given taken/not-taken hashed-history tables [T] and [NT] — keys are
+    hashed histories, values are profile sample counts — find, among a
+    candidate set of formulas, the one that mispredicts the fewest
+    samples: a formula [f] mispredicts every taken sample whose key does
+    not satisfy [f] plus every not-taken sample whose key does. *)
+
+type tables
+(** Compacted (key, taken-count, not-taken-count) triples for one branch
+    at one history length. *)
+
+val tables_of_counts : taken:int array -> not_taken:int array -> tables
+(** Build from dense per-key count arrays (length [2^hash_bits]). *)
+
+val tables_total : tables -> int * int
+(** Total (taken, not-taken) sample counts. *)
+
+val distinct_keys : tables -> int
+
+val mispredictions : tables -> truth:Bytes.t -> int
+(** Mispredictions a formula (given as a truth table over keys) incurs. *)
+
+val always_mispredictions : tables -> int
+(** Mispredictions of the always-taken hint (= not-taken samples). *)
+
+val never_mispredictions : tables -> int
+
+val find :
+  tables ->
+  candidates:int array ->
+  truth_of:(int -> Bytes.t) ->
+  int * int
+(** [find tables ~candidates ~truth_of] returns [(formula_id, m')] — the
+    candidate with the minimum misprediction count [m'] (ties resolved to
+    the earlier candidate, matching the paper's sequential scan).
+    @raise Invalid_argument on an empty candidate set. *)

@@ -1,0 +1,123 @@
+open Whisper_trace
+
+type op_class =
+  | C_and
+  | C_or
+  | C_implication
+  | C_cnimplication
+  | C_always
+  | C_never
+  | C_others
+
+let op_class_name = function
+  | C_and -> "and"
+  | C_or -> "or"
+  | C_implication -> "implication"
+  | C_cnimplication -> "converse-nonimplication"
+  | C_always -> "always-taken"
+  | C_never -> "never-taken"
+  | C_others -> "others"
+
+type t = {
+  config : Config.t;
+  decisions : (int * History_select.choice) list;
+  considered : int;
+  training_seconds : float;
+}
+
+let run ?(config = Config.default) profile =
+  let rnd = Randomized.create config in
+  let t0 = Unix.gettimeofday () in
+  let candidates = Profile.candidates profile in
+  let decisions = ref [] in
+  let taken = ref 0 in
+  Array.iter
+    (fun pc ->
+      if !taken < config.max_hints then
+        match History_select.decide config rnd profile ~pc with
+        | Some choice ->
+            decisions := (pc, choice) :: !decisions;
+            incr taken
+        | None -> ())
+    candidates;
+  let training_seconds = Unix.gettimeofday () -. t0 in
+  {
+    config;
+    decisions = List.rev !decisions;
+    considered = Array.length candidates;
+    training_seconds;
+  }
+
+let hint_count t = List.length t.decisions
+
+let root_class config (choice : History_select.choice) =
+  match choice.bias with
+  | Brhint.Always_taken -> C_always
+  | Brhint.Never_taken -> C_never
+  | Brhint.Dynamic -> C_others
+  | Brhint.Formula -> (
+      let tree =
+        Whisper_formula.Tree.of_id
+          ~leaves:(Config.formula_leaves config)
+          choice.formula_id
+      in
+      match (Whisper_formula.Tree.ops tree).(0) with
+      | Whisper_formula.Op.And -> C_and
+      | Whisper_formula.Op.Or -> C_or
+      | Whisper_formula.Op.Imp -> C_implication
+      | Whisper_formula.Op.Cnimp -> C_cnimplication)
+
+let op_distribution t profile =
+  let weights = Hashtbl.create 8 in
+  let add cls w =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt weights cls) in
+    Hashtbl.replace weights cls (cur +. w)
+  in
+  let execs pc =
+    match Profile.stat profile ~pc with
+    | Some s -> float_of_int s.Profile.execs
+    | None -> 0.0
+  in
+  let hinted = Hashtbl.create 256 in
+  List.iter
+    (fun (pc, choice) ->
+      Hashtbl.replace hinted pc ();
+      add (root_class t.config choice) (execs pc))
+    t.decisions;
+  (* non-hinted candidates are the paper's "Others" slice *)
+  Array.iter
+    (fun pc -> if not (Hashtbl.mem hinted pc) then add C_others (execs pc))
+    (Profile.candidates profile);
+  let total = Hashtbl.fold (fun _ w acc -> acc +. w) weights 0.0 in
+  if total = 0.0 then []
+  else
+    [ C_and; C_or; C_implication; C_cnimplication; C_always; C_never; C_others ]
+    |> List.filter_map (fun cls ->
+           Option.map
+             (fun w -> (cls, w /. total))
+             (Hashtbl.find_opt weights cls))
+
+let length_distribution t profile =
+  let out = Array.make t.config.n_lengths 0.0 in
+  let total = ref 0.0 in
+  List.iter
+    (fun ((_ : int), (choice : History_select.choice)) ->
+      match choice.bias with
+      | Brhint.Formula ->
+          let avoided =
+            float_of_int (choice.baseline_mispred - choice.sample_mispred)
+          in
+          out.(choice.len_idx) <- out.(choice.len_idx) +. avoided;
+          total := !total +. avoided
+      | _ -> ())
+    t.decisions;
+  ignore profile;
+  if !total > 0.0 then Array.map (fun v -> v /. !total) out else out
+
+let to_inject_hints t cfg =
+  List.filter_map
+    (fun (pc, choice) ->
+      Option.map
+        (fun (b : Cfg.block) -> (b.id, choice))
+        (Cfg.block_of_pc cfg pc))
+    t.decisions

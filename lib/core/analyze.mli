@@ -1,0 +1,51 @@
+(** The offline branch-analysis pipeline (paper §IV, step 2): from an
+    in-production profile to the set of brhint decisions, plus the
+    characterization statistics the paper's Figs. 6 and 7 report. *)
+
+type op_class =
+  | C_and
+  | C_or
+  | C_implication
+  | C_cnimplication
+  | C_always
+  | C_never
+  | C_others  (** branches best left to the dynamic predictor *)
+
+val op_class_name : op_class -> string
+
+type t = {
+  config : Config.t;
+  decisions : (int * History_select.choice) list;
+      (** hinted branches: (branch PC, choice), best first *)
+  considered : int;  (** candidate branches examined *)
+  training_seconds : float;
+      (** wall-clock time of the formula search (Fig. 15/16) *)
+}
+
+val run :
+  ?config:Config.t ->
+  Whisper_trace.Profile.t ->
+  t
+(** Analyze every candidate branch of the profile: pick history length
+    and formula (Algorithm 1 + randomized testing), keep branches whose
+    formula beats the baseline, capped at [config.max_hints]. *)
+
+val hint_count : t -> int
+
+val op_distribution :
+  t -> Whisper_trace.Profile.t -> (op_class * float) list
+(** Fraction of {e branch executions} (profiled) whose best prediction
+    uses each operator class — paper Fig. 7.  Root operator of the chosen
+    formula decides the class for formula hints; non-hinted candidate
+    executions count as [C_others]. *)
+
+val length_distribution :
+  t -> Whisper_trace.Profile.t -> float array
+(** Fraction of {e avoided sample mispredictions} attributed to each
+    history-length index — paper Fig. 6's view of where the correlation
+    lives.  Sums to 1 when any hint exists. *)
+
+val to_inject_hints :
+  t -> Whisper_trace.Cfg.t -> (int * History_select.choice) list
+(** Translate (PC, choice) decisions into (block, choice) pairs for
+    {!Inject.plan}. *)

@@ -1,0 +1,59 @@
+type bias = Formula | Always_taken | Never_taken | Dynamic
+
+type t = {
+  len_idx : int;
+  formula_id : int;
+  bias : bias;
+  pc_offset : int;
+}
+
+let encoded_bits = 33
+
+let bias_code = function
+  | Formula -> 0
+  | Always_taken -> 1
+  | Never_taken -> 2
+  | Dynamic -> 3
+
+let bias_of_code = function
+  | 0 -> Formula
+  | 1 -> Always_taken
+  | 2 -> Never_taken
+  | 3 -> Dynamic
+  | _ -> invalid_arg "Brhint.bias_of_code"
+
+let make ~len_idx ~formula_id ~bias ~pc_offset =
+  if len_idx < 0 || len_idx > 15 then invalid_arg "Brhint.make: len_idx";
+  if formula_id < 0 || formula_id > 0x7FFF then
+    invalid_arg "Brhint.make: formula_id";
+  if pc_offset < 0 || pc_offset > 0xFFF then invalid_arg "Brhint.make: pc_offset";
+  { len_idx; formula_id; bias; pc_offset }
+
+(* layout, msb to lsb: history[32:29] formula[28:14] bias[13:12] pc[11:0] *)
+let encode t =
+  (t.len_idx lsl 29)
+  lor (t.formula_id lsl 14)
+  lor (bias_code t.bias lsl 12)
+  lor t.pc_offset
+
+let decode v =
+  if v < 0 || v >= 1 lsl encoded_bits then invalid_arg "Brhint.decode";
+  {
+    len_idx = (v lsr 29) land 0xF;
+    formula_id = (v lsr 14) land 0x7FFF;
+    bias = bias_of_code ((v lsr 12) land 0x3);
+    pc_offset = v land 0xFFF;
+  }
+
+let branch_pc t ~hint_addr =
+  hint_addr + (t.pc_offset * Whisper_trace.Cfg.instr_bytes)
+
+let pp fmt t =
+  Format.fprintf fmt "brhint{len_idx=%d; formula=%#x; bias=%s; pc+%d}"
+    t.len_idx t.formula_id
+    (match t.bias with
+    | Formula -> "formula"
+    | Always_taken -> "always"
+    | Never_taken -> "never"
+    | Dynamic -> "dynamic")
+    t.pc_offset

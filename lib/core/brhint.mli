@@ -1,0 +1,45 @@
+(** The [brhint] instruction (paper Fig. 11).
+
+    A 33-bit payload with four fields:
+
+    {v
+    | History (4b) | Boolean formula (15b) | Bias (2b) | PC pointer (12b) |
+    v}
+
+    - [History]: index into the 16-term geometric history-length series;
+    - [Boolean formula]: the extended-ROMBF tree id (§III-C);
+    - [Bias]: [0] = use the formula, [1] = predict always-taken,
+      [2] = predict never-taken, [3] = reserved (predict dynamically);
+    - [PC pointer]: forward offset, in instructions, from the brhint to
+      the branch it covers (12 bits reach >80 % of branches per the
+      paper's §IV). *)
+
+type bias = Formula | Always_taken | Never_taken | Dynamic
+
+type t = {
+  len_idx : int;  (** 0..15 *)
+  formula_id : int;  (** 0..32767 *)
+  bias : bias;
+  pc_offset : int;  (** 0..4095, instructions *)
+}
+
+val make :
+  len_idx:int -> formula_id:int -> bias:bias -> pc_offset:int -> t
+(** @raise Invalid_argument when any field is out of range. *)
+
+val encode : t -> int
+(** Pack into the 33-bit integer payload, History in the top bits. *)
+
+val decode : int -> t
+(** Inverse of {!encode}.  @raise Invalid_argument if out of range. *)
+
+val encoded_bits : int
+(** 33. *)
+
+val branch_pc : t -> hint_addr:int -> int
+(** Absolute PC of the covered branch given the brhint's own address. *)
+
+val bias_code : bias -> int
+val bias_of_code : int -> bias
+
+val pp : Format.formatter -> t -> unit

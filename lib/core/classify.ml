@@ -1,0 +1,124 @@
+open Whisper_util
+
+type cls = Compulsory | Capacity | Conflict | Conditional_on_data
+
+type counts = {
+  compulsory : int;
+  capacity : int;
+  conflict : int;
+  conditional : int;
+}
+
+let total c = c.compulsory + c.capacity + c.conflict + c.conditional
+
+let fraction c cls =
+  let n = total c in
+  if n = 0 then 0.0
+  else
+    let v =
+      match cls with
+      | Compulsory -> c.compulsory
+      | Capacity -> c.capacity
+      | Conflict -> c.conflict
+      | Conditional_on_data -> c.conditional
+    in
+    float_of_int v /. float_of_int n
+
+(* A substream is (branch PC, folded long history window).  A mispredicted
+   known branch whose substream is outside the capacity model's LRU is a
+   capacity-class miss (paper §II-C's reuse-distance criterion); one whose
+   substream is retained yet still mispredicts is conditional-on-data. *)
+type t = {
+  hist : History.t;
+  f_long : History.Folded.t;
+  regs : History.Folded.t array;
+  seen_long : (int, unit) Hashtbl.t;
+  seen_pc : (int, unit) Hashtbl.t;
+  lru : unit Lru.t;  (* fully-associative capacity model over long keys *)
+  sets : int array array;  (* set-assoc model: [set].[way] = key *)
+  set_mask : int;
+  assoc : int;
+  mutable c : counts;
+}
+
+let create ?(history_len = 64) ?(assoc = 4) ~capacity_entries () =
+  if capacity_entries < assoc then invalid_arg "Classify.create";
+  let n_sets = 1 lsl Bitops.log2_ceil (max 1 (capacity_entries / assoc)) in
+  let hist = History.create ~depth:(2 * history_len) in
+  let f_long = History.Folded.create ~len:history_len ~chunk:62 in
+  {
+    hist;
+    f_long;
+    regs = [| f_long |];
+    seen_long = Hashtbl.create 65536;
+    seen_pc = Hashtbl.create 65536;
+    lru = Lru.create ~capacity:capacity_entries;
+    sets = Array.make_matrix n_sets assoc (-1);
+    set_mask = n_sets - 1;
+    assoc;
+    c = { compulsory = 0; capacity = 0; conflict = 0; conditional = 0 };
+  }
+
+let mix pc fold =
+  let z = (pc * 0x9E3779B1) lxor (fold * 0x85EBCA77) in
+  let z = (z lxor (z lsr 31)) * 0xC2B2AE3D in
+  (z lxor (z lsr 29)) land max_int
+
+(* set-associative presence check + LRU-within-set touch *)
+let sa_touch t key =
+  let set = t.sets.(key land t.set_mask) in
+  let pos = ref (-1) in
+  for i = 0 to t.assoc - 1 do
+    if set.(i) = key then pos := i
+  done;
+  let present = !pos >= 0 in
+  let from = if present then !pos else t.assoc - 1 in
+  for i = from downto 1 do
+    set.(i) <- set.(i - 1)
+  done;
+  set.(0) <- key;
+  present
+
+let note t ~pc ~taken ~mispredicted =
+  let key_long = mix pc (History.Folded.value t.f_long) in
+  let long_known = Hashtbl.mem t.seen_long key_long in
+  let pc_known = Hashtbl.mem t.seen_pc pc in
+  if not long_known then Hashtbl.add t.seen_long key_long ();
+  if not pc_known then Hashtbl.add t.seen_pc pc ();
+  let in_lru = Lru.mem t.lru key_long in
+  ignore (Lru.add t.lru key_long ());
+  let in_sa = sa_touch t key_long in
+  History.push_all t.hist t.regs taken;
+  if not mispredicted then None
+  else begin
+    let cls =
+      (* paper §II-C: compulsory = the predictor sees the *branch* for
+         the first time *)
+      if not pc_known then Compulsory
+      else if long_known && in_lru then
+        (* the full context was retained and it still mispredicted *)
+        if in_sa then Conditional_on_data else Conflict
+      else
+        (* familiar branch whose substream fell out (or was never
+           retained): the reuse-distance / capacity class *)
+        Capacity
+    in
+    (t.c <-
+       (match cls with
+       | Compulsory -> { t.c with compulsory = t.c.compulsory + 1 }
+       | Capacity -> { t.c with capacity = t.c.capacity + 1 }
+       | Conflict -> { t.c with conflict = t.c.conflict + 1 }
+       | Conditional_on_data -> { t.c with conditional = t.c.conditional + 1 }));
+    Some cls
+  end
+
+let counts t = t.c
+
+let pp_counts fmt c =
+  let n = float_of_int (max 1 (total c)) in
+  Format.fprintf fmt
+    "compulsory %.1f%% capacity %.1f%% conflict %.1f%% conditional %.1f%%"
+    (100.0 *. float_of_int c.compulsory /. n)
+    (100.0 *. float_of_int c.capacity /. n)
+    (100.0 *. float_of_int c.conflict /. n)
+    (100.0 *. float_of_int c.conditional /. n)

@@ -1,0 +1,46 @@
+(** Misprediction classification (paper §II-C, Fig. 3).
+
+    Each dynamic branch is identified by its {e substream} — the
+    combination of the branch PC and the recent global history window.
+    Applying the classic 3C cache methodology to substreams, a baseline
+    misprediction is:
+
+    - {b Compulsory}: the predictor sees the static branch for the first
+      time (the paper's definition);
+    - {b Capacity}: the branch is known but its substream's reuse
+      distance exceeds what the predictor's budget can retain — it fell
+      out of a fully-associative LRU of [capacity_entries] substreams
+      (or was never retained);
+    - {b Conflict}: the substream is inside the fully-associative budget
+      but was evicted from a set-associative table of the same capacity;
+    - {b Conditional-on-data}: the substream is resident and recent, yet
+      the branch still mispredicted — its direction is not a function of
+      history. *)
+
+type cls = Compulsory | Capacity | Conflict | Conditional_on_data
+
+type counts = {
+  compulsory : int;
+  capacity : int;
+  conflict : int;
+  conditional : int;
+}
+
+val total : counts -> int
+val fraction : counts -> cls -> float
+
+type t
+
+val create :
+  ?history_len:int -> ?assoc:int -> capacity_entries:int -> unit -> t
+(** [capacity_entries] is the number of substreams the modelled predictor
+    can retain (≈ its tagged-entry count).  Defaults: history window 64,
+    associativity 4. *)
+
+val note : t -> pc:int -> taken:bool -> mispredicted:bool -> cls option
+(** Feed every dynamic branch in trace order; returns the class when the
+    branch was mispredicted. *)
+
+val counts : t -> counts
+
+val pp_counts : Format.formatter -> counts -> unit

@@ -1,0 +1,53 @@
+type hash_op = Xor | And | Or
+
+type t = {
+  min_len : int;
+  max_len : int;
+  n_lengths : int;
+  hash_bits : int;
+  hash_op : hash_op;
+  ops : [ `Extended | `Classic ];
+  explore_frac : float;
+  min_explore : int;
+  hint_buffer_size : int;
+  max_hints : int;
+  max_pc_offset : int;
+  min_sample_gain : int;
+  seed : int;
+}
+
+let default =
+  {
+    min_len = 8;
+    max_len = 1024;
+    n_lengths = 16;
+    hash_bits = 8;
+    hash_op = Xor;
+    ops = `Extended;
+    explore_frac = 0.001;
+    min_explore = 32;
+    hint_buffer_size = 32;
+    max_hints = 2048;
+    max_pc_offset = 4095;
+    min_sample_gain = 2;
+    seed = 0xC0FFEE;
+  }
+
+let lengths t =
+  Whisper_util.Geometric.series ~a:t.min_len ~n:t.max_len ~m:t.n_lengths
+
+let formula_leaves t = t.hash_bits
+
+let explore_count t =
+  let space = Whisper_formula.Tree.space_size ~leaves:t.hash_bits in
+  let frac = int_of_float (Float.round (t.explore_frac *. float_of_int space)) in
+  min space (max t.min_explore frac)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>min-history %d@ max-history %d@ history-lengths %d@ hashed-length \
+     %d@ logical-ops %s@ explore %.3f%%@ hint-buffer %d@]"
+    t.min_len t.max_len t.n_lengths t.hash_bits
+    (match t.ops with `Extended -> "4" | `Classic -> "2")
+    (100.0 *. t.explore_frac)
+    t.hint_buffer_size

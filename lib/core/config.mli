@@ -1,0 +1,50 @@
+(** Whisper design parameters (paper Table III).
+
+    | Parameter                  | Paper value |
+    |----------------------------|-------------|
+    | Minimum history length     | 8           |
+    | Maximum history length     | 1024        |
+    | Different history lengths  | 16          |
+    | Length of the hashed history | 8         |
+    | Logical operations used    | 4           |
+    | Hint buffer's size         | 32          |
+
+    plus the randomized-formula-testing exploration fraction (0.1 %,
+    §V-B Fig. 15) and engineering limits of the offline analysis. *)
+
+type hash_op = Xor | And | Or
+
+type t = {
+  min_len : int;  (** a = 8 *)
+  max_len : int;  (** N = 1024 *)
+  n_lengths : int;  (** m = 16 *)
+  hash_bits : int;  (** 8 *)
+  hash_op : hash_op;  (** XOR in the paper's chosen design *)
+  ops : [ `Extended | `Classic ];
+      (** [`Extended] = {and, or, imp, cnimp} (4 ops); [`Classic]
+          restricts to ROMBF's {and, or} for the Fig. 14 ablation *)
+  explore_frac : float;  (** fraction of the formula space tested, 0.001 *)
+  min_explore : int;  (** lower bound on formulas tested per branch *)
+  hint_buffer_size : int;  (** 32 *)
+  max_hints : int;  (** hard cap on hinted static branches *)
+  max_pc_offset : int;
+      (** brhint PC-pointer reach in instructions (12 bits → 4095) *)
+  min_sample_gain : int;
+      (** required misprediction savings (in profile samples) before a
+          hint is emitted *)
+  seed : int;  (** Fisher–Yates seed for randomized formula testing *)
+}
+
+val default : t
+
+val lengths : t -> int array
+(** The geometric series [min_len … max_len] with [n_lengths] terms. *)
+
+val formula_leaves : t -> int
+(** Formula input count = [hash_bits]. *)
+
+val explore_count : t -> int
+(** Number of formulas tested per (branch, length):
+    [max min_explore (explore_frac * space)]. *)
+
+val pp : Format.formatter -> t -> unit

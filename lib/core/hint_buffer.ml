@@ -1,0 +1,31 @@
+open Whisper_util
+
+type t = {
+  lru : Brhint.t Lru.t;
+  mutable n_insert : int;
+  mutable n_hit : int;
+  mutable n_miss : int;
+}
+
+let create ~size = { lru = Lru.create ~capacity:size; n_insert = 0; n_hit = 0; n_miss = 0 }
+
+let size t = Lru.capacity t.lru
+let length t = Lru.length t.lru
+
+let insert t ~branch_pc hint =
+  t.n_insert <- t.n_insert + 1;
+  ignore (Lru.add t.lru branch_pc hint)
+
+let probe t ~branch_pc =
+  match Lru.peek t.lru branch_pc with
+  | Some h ->
+      t.n_hit <- t.n_hit + 1;
+      Some h
+  | None ->
+      t.n_miss <- t.n_miss + 1;
+      None
+
+let clear t = Lru.clear t.lru
+let insertions t = t.n_insert
+let hits t = t.n_hit
+let misses t = t.n_miss

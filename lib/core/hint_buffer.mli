@@ -1,0 +1,29 @@
+(** The run-time hint buffer (paper §IV, "Run-time hint usage").
+
+    Executing a [brhint] instruction deposits its decoded fields, keyed by
+    the covered branch's PC, into this small LRU structure; predicting a
+    branch probes it in parallel with the dynamic predictor.  The paper
+    finds 32 entries sufficient — the sensitivity knob is exercised by the
+    [hintbuf_ablation] bench. *)
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+val length : t -> int
+
+val insert : t -> branch_pc:int -> Brhint.t -> unit
+(** Executed-brhint side effect; refreshes LRU position on re-execution. *)
+
+val probe : t -> branch_pc:int -> Brhint.t option
+(** Lookup at prediction time ({b does not} refresh the LRU position: the
+    buffer tracks hint executions, not branch executions). *)
+
+val clear : t -> unit
+
+val insertions : t -> int
+(** Total inserts (dynamic brhint executions observed). *)
+
+val hits : t -> int
+val misses : t -> int
+(** Probe statistics (hinted-branch coverage diagnostics). *)

@@ -1,0 +1,50 @@
+(** Hashed history correlation: per-branch selection of the history
+    length and Boolean formula that minimize profiled mispredictions
+    (paper §III-A).
+
+    For every candidate length in the geometric series, the branch's
+    profile samples are grouped into taken/not-taken tables keyed by the
+    hashed history at that length; Algorithm 1 then scores the randomized
+    candidate formulas, alongside the two bias hints (always/never
+    taken).  The best (length, formula-or-bias) pair is compared against
+    the baseline predictor's misprediction count on the same samples —
+    only a branch the formula beats gets a hint (otherwise it is left to
+    the dynamic predictor). *)
+
+type choice = {
+  len_idx : int;
+  formula_id : int;
+  bias : Brhint.bias;
+  sample_mispred : int;  (** mispredictions of this choice on the profile *)
+  baseline_mispred : int;  (** baseline mispredictions on the same samples *)
+  samples : int;
+}
+
+val decide :
+  ?min_gain:int ->
+  Config.t ->
+  Randomized.t ->
+  Whisper_trace.Profile.t ->
+  pc:int ->
+  choice option
+(** [None] when the branch has no samples or no choice beats the baseline
+    by at least [min_gain] (default from config). *)
+
+val decide_at_length :
+  Randomized.t ->
+  Whisper_trace.Profile.t ->
+  pc:int ->
+  len_idx:int ->
+  (int * int) option
+(** Best (formula_id, mispredictions) at one fixed length — the building
+    block of {!decide}, exposed for the Fig. 15 exploration sweep. *)
+
+val best_possible_at_length :
+  Randomized.t ->
+  Whisper_trace.Profile.t ->
+  pc:int ->
+  len_idx:int ->
+  explore:int ->
+  (int * int) option
+(** Like {!decide_at_length} but testing the first [explore] formulas of
+    the shared permutation. *)

@@ -1,0 +1,125 @@
+open Whisper_trace
+
+type placement = {
+  branch_block : int;
+  host_block : int;
+  hint : Brhint.t;
+  branch_pc : int;
+  cond_prob : float;
+}
+
+type t = {
+  placements : placement list;
+  by_host : (int, placement list) Hashtbl.t;
+  dropped : int;
+}
+
+(* Estimate, over a trace, how often each candidate predecessor is followed
+   by the hinted branch within the lookahead window. *)
+let correlate ~window ~trace_events ~(cfg : Cfg.t) ~source ~branches =
+  let hinted = Hashtbl.create (List.length branches * 2) in
+  List.iter
+    (fun b -> Hashtbl.replace hinted b (Cfg.predecessors_in_func cfg b))
+    branches;
+  let n_blocks = Array.length cfg.blocks in
+  let exec = Array.make n_blocks 0 in
+  let last_seen = Array.make n_blocks min_int in
+  let cooccur = Whisper_util.Histo.create ~size_hint:1024 () in
+  for now = 0 to trace_events - 1 do
+    let e = source () in
+    let b = e.Branch.block in
+    exec.(b) <- exec.(b) + 1;
+    last_seen.(b) <- now;
+    match Hashtbl.find_opt hinted b with
+    | None -> ()
+    | Some preds ->
+        List.iter
+          (fun p ->
+            if last_seen.(p) >= now - window then
+              Whisper_util.Histo.incr cooccur ((p * n_blocks) + b))
+          preds
+  done;
+  fun ~pred ~branch ->
+    if exec.(pred) = 0 then 0.0
+    else
+      float_of_int (Whisper_util.Histo.count cooccur ((pred * n_blocks) + branch))
+      /. float_of_int exec.(pred)
+
+let plan ?(window = 64) ?(threshold = 0.9) ?(trace_events = 200_000)
+    (config : Config.t) (cfg : Cfg.t) ~source ~hints =
+  let cond_prob =
+    correlate ~window ~trace_events ~cfg ~source
+      ~branches:(List.map fst hints)
+  in
+  let placements = ref [] in
+  let dropped = ref 0 in
+  List.iter
+    (fun (branch_block, (choice : History_select.choice)) ->
+      let blk = cfg.blocks.(branch_block) in
+      let reachable host =
+        (blk.branch_pc - cfg.blocks.(host).addr) / Cfg.instr_bytes
+        <= config.max_pc_offset
+      in
+      (* earliest qualifying predecessor wins (max timeliness) *)
+      let host =
+        List.find_opt
+          (fun p ->
+            reachable p && cond_prob ~pred:p ~branch:branch_block >= threshold)
+          (Cfg.predecessors_in_func cfg branch_block)
+      in
+      let host, prob =
+        match host with
+        | Some p -> (Some p, cond_prob ~pred:p ~branch:branch_block)
+        | None ->
+            (* fall back to the branch's own block *)
+            if reachable branch_block then (Some branch_block, 1.0)
+            else (None, 0.0)
+      in
+      match host with
+      | None -> incr dropped
+      | Some host_block ->
+          let pc_offset =
+            (blk.branch_pc - cfg.blocks.(host_block).addr) / Cfg.instr_bytes
+          in
+          let hint =
+            Brhint.make ~len_idx:choice.History_select.len_idx
+              ~formula_id:choice.formula_id ~bias:choice.bias ~pc_offset
+          in
+          let branch_pc =
+            Brhint.branch_pc hint ~hint_addr:cfg.blocks.(host_block).addr
+          in
+          assert (branch_pc = blk.branch_pc);
+          placements :=
+            { branch_block; host_block; hint; branch_pc; cond_prob = prob }
+            :: !placements)
+    hints;
+  let by_host = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_host p.host_block)
+      in
+      Hashtbl.replace by_host p.host_block (p :: existing))
+    !placements;
+  { placements = List.rev !placements; by_host; dropped = !dropped }
+
+let hints_at t ~block =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_host block)
+
+let static_overhead_pct t (cfg : Cfg.t) =
+  let static_instrs = cfg.footprint / Cfg.instr_bytes in
+  Whisper_util.Stats.pct
+    (float_of_int (List.length t.placements))
+    (float_of_int static_instrs)
+
+let dynamic_overhead_pct t (cfg : Cfg.t) ~source ~events =
+  ignore cfg;
+  let hint_execs = ref 0 and instrs = ref 0 in
+  for _ = 1 to events do
+    let e = source () in
+    instrs := !instrs + e.Branch.instrs;
+    match Hashtbl.find_opt t.by_host e.Branch.block with
+    | Some l -> hint_execs := !hint_execs + List.length l
+    | None -> ()
+  done;
+  Whisper_util.Stats.pct (float_of_int !hint_execs) (float_of_int !instrs)

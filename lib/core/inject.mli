@@ -1,0 +1,56 @@
+(** Link-time hint injection (paper §IV, "Hint injection").
+
+    For each hinted branch, pick the predecessor basic block that hosts
+    its [brhint] using the conditional-probability correlation algorithm
+    the paper borrows from I-SPY/Ripple/Twig: over a profiling trace,
+    count for each candidate predecessor [P] how often an execution of
+    [P] is followed by the branch within a lookahead window, and choose
+    the earliest predecessor whose conditional probability clears a
+    threshold (earlier injection = more hint timeliness, as long as the
+    hint still correlates with the branch actually executing).  Falls
+    back to the branch's own block (hint immediately before the branch)
+    when no predecessor qualifies or the 12-bit PC offset cannot reach.
+
+    The result doubles as the "updated binary": a map from host block to
+    the hints it executes, plus static/dynamic overhead accounting
+    (paper Fig. 19). *)
+
+type placement = {
+  branch_block : int;
+  host_block : int;
+  hint : Brhint.t;
+  branch_pc : int;
+      (** hint address + PC offset — what the hardware computes when the
+          brhint executes, and the hint buffer's key *)
+  cond_prob : float;  (** P(branch follows | host executed) *)
+}
+
+type t = {
+  placements : placement list;
+  by_host : (int, placement list) Hashtbl.t;
+  dropped : int;  (** hints unplaceable within the PC-offset reach *)
+}
+
+val plan :
+  ?window:int ->
+  ?threshold:float ->
+  ?trace_events:int ->
+  Config.t ->
+  Whisper_trace.Cfg.t ->
+  source:Whisper_trace.Branch.source ->
+  hints:(int * History_select.choice) list ->
+  t
+(** [hints] pairs branch block ids with their analysis choices.  The
+    [source] provides the correlation trace (a fresh profiling stream).
+    Defaults: window 64 events, threshold 0.9, 200k trace events. *)
+
+val hints_at : t -> block:int -> placement list
+(** Hints whose brhint instructions live in [block], i.e. those executed
+    when the block executes. *)
+
+val static_overhead_pct : t -> Whisper_trace.Cfg.t -> float
+(** Injected instructions as % of static instructions (Fig. 19). *)
+
+val dynamic_overhead_pct :
+  t -> Whisper_trace.Cfg.t -> source:Whisper_trace.Branch.source -> events:int -> float
+(** Executed brhints as % of dynamic instructions over a fresh trace. *)

@@ -1,0 +1,50 @@
+open Whisper_util
+
+let format_version = 1
+let tag = "WHNT"
+
+let to_bytes (t : Inject.t) =
+  let w = Binio.Writer.create () in
+  Binio.Writer.magic w tag;
+  Binio.Writer.varint w format_version;
+  Binio.Writer.varint w t.Inject.dropped;
+  Binio.Writer.varint w (List.length t.Inject.placements);
+  List.iter
+    (fun (p : Inject.placement) ->
+      Binio.Writer.varint w p.branch_block;
+      Binio.Writer.varint w p.host_block;
+      Binio.Writer.varint w (Brhint.encode p.hint);
+      Binio.Writer.varint w p.branch_pc;
+      Binio.Writer.float64 w p.cond_prob)
+    t.Inject.placements;
+  Binio.Writer.contents w
+
+let of_bytes data =
+  let r = Binio.Reader.create data in
+  Binio.Reader.magic r tag;
+  let v = Binio.Reader.varint r in
+  if v <> format_version then
+    failwith (Printf.sprintf "Plan_io: unsupported version %d" v);
+  let dropped = Binio.Reader.varint r in
+  let n = Binio.Reader.varint r in
+  let placements =
+    List.init n (fun _ ->
+        let branch_block = Binio.Reader.varint r in
+        let host_block = Binio.Reader.varint r in
+        let hint = Brhint.decode (Binio.Reader.varint r) in
+        let branch_pc = Binio.Reader.varint r in
+        let cond_prob = Binio.Reader.float64 r in
+        { Inject.branch_block; host_block; hint; branch_pc; cond_prob })
+  in
+  let by_host = Hashtbl.create (max 16 n) in
+  List.iter
+    (fun (p : Inject.placement) ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_host p.host_block)
+      in
+      Hashtbl.replace by_host p.host_block (p :: existing))
+    placements;
+  { Inject.placements; by_host; dropped }
+
+let save t ~path = Binio.to_file path (to_bytes t)
+let load ~path = of_bytes (Binio.of_file path)

@@ -1,0 +1,13 @@
+(** Binary persistence for hint-injection plans — the reproduction's
+    stand-in for the paper's "updated binary" (Fig. 10, step 3): the set
+    of brhint instructions and the blocks hosting them, ready to deploy
+    at the next build-and-release cycle. *)
+
+val to_bytes : Inject.t -> bytes
+val of_bytes : bytes -> Inject.t
+(** @raise Failure on corrupt input. *)
+
+val save : Inject.t -> path:string -> unit
+val load : path:string -> Inject.t
+
+val format_version : int

@@ -1,0 +1,30 @@
+(** Randomized formula testing (paper §III-B).
+
+    Whisper shuffles the whole formula id space once with a Fisher–Yates
+    permutation and reuses the same order for every branch, testing only
+    a prefix (0.1 % by default) as Algorithm 1 candidates.  Truth tables
+    for tested formulas are cached — the same ids recur for every
+    (branch, history-length) pair by construction. *)
+
+type t
+
+val create : Config.t -> t
+(** Shuffles the id space determined by [Config.ops] (32768 extended /
+    128 classic formulas for 8 hash bits) with the config seed. *)
+
+val candidates : t -> int array
+(** The id prefix tested per branch (length {!Config.explore_count}; the
+    full space when [explore_frac >= 1]). *)
+
+val candidates_n : t -> int -> int array
+(** First [n] ids of the permutation (for exploration sweeps, Fig. 15). *)
+
+val space : t -> int
+(** Size of the searched space. *)
+
+val truth_of : t -> int -> Bytes.t
+(** Memoized truth table of a formula id. *)
+
+val tree_of : t -> int -> Whisper_formula.Tree.t
+(** Decode an id according to the configured op family (classic ids are
+    embedded in [And]/[Or]-only trees). *)

@@ -1,0 +1,91 @@
+open Whisper_util
+open Whisper_trace
+
+type t = {
+  base : Whisper_bpu.Predictor.t;
+  plan : Inject.t;
+  buf : Hint_buffer.t;
+  hist : History.t;
+  folded : History.Folded.t array;
+  truths : (int, Bytes.t) Hashtbl.t;
+  hash_bits : int;
+  mutable n_hinted : int;
+  mutable n_hinted_wrong : int;
+  mutable n_base : int;
+}
+
+let create (cfg : Config.t) ~baseline ~plan =
+  let lengths = Config.lengths cfg in
+  let max_len = Array.fold_left max 1 lengths in
+  {
+    base = baseline;
+    plan;
+    buf = Hint_buffer.create ~size:cfg.hint_buffer_size;
+    hist = History.create ~depth:(2 * max_len);
+    folded =
+      Array.map
+        (fun len -> History.Folded.create ~len ~chunk:cfg.hash_bits)
+        lengths;
+    truths = Hashtbl.create 256;
+    hash_bits = cfg.hash_bits;
+    n_hinted = 0;
+    n_hinted_wrong = 0;
+    n_base = 0;
+  }
+
+let truth t id =
+  match Hashtbl.find_opt t.truths id with
+  | Some b -> b
+  | None ->
+      let b =
+        Whisper_formula.Tree.truth_table
+          (Whisper_formula.Tree.of_id ~leaves:t.hash_bits id)
+      in
+      Hashtbl.add t.truths id b;
+      b
+
+let hint_prediction t (h : Brhint.t) =
+  match h.bias with
+  | Brhint.Always_taken -> Some true
+  | Brhint.Never_taken -> Some false
+  | Brhint.Dynamic -> None
+  | Brhint.Formula ->
+      let hash = History.Folded.value t.folded.(h.len_idx) in
+      Some (Whisper_formula.Tree.eval_tt (truth t h.formula_id) hash)
+
+let exec t (e : Branch.event) =
+  (* 1. execute any brhints hosted in this block *)
+  List.iter
+    (fun (p : Inject.placement) ->
+      Hint_buffer.insert t.buf ~branch_pc:p.branch_pc p.hint)
+    (Inject.hints_at t.plan ~block:e.block);
+  (* 2. predict: hint buffer and dynamic predictor are probed in parallel;
+     a hinted branch does not train or allocate in the baseline *)
+  let hinted =
+    match Hint_buffer.probe t.buf ~branch_pc:e.pc with
+    | Some h -> hint_prediction t h
+    | None -> None
+  in
+  let correct =
+    match hinted with
+    | Some pred ->
+        t.n_hinted <- t.n_hinted + 1;
+        t.base.spectate ~pc:e.pc ~taken:e.taken;
+        let ok = pred = e.taken in
+        if not ok then t.n_hinted_wrong <- t.n_hinted_wrong + 1;
+        ok
+    | None ->
+        t.n_base <- t.n_base + 1;
+        let pred = t.base.predict ~pc:e.pc in
+        t.base.train ~pc:e.pc ~taken:e.taken;
+        t.base.is_oracle || pred = e.taken
+  in
+  (* 3. advance Whisper's folded-history mirror *)
+  History.push_all t.hist t.folded e.taken;
+  correct
+
+let predictor_name t = "whisper+" ^ t.base.name
+let hinted_predictions t = t.n_hinted
+let hinted_mispredictions t = t.n_hinted_wrong
+let baseline_predictions t = t.n_base
+let buffer t = t.buf

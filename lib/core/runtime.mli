@@ -1,0 +1,34 @@
+(** Whisper's run-time prediction path (paper §IV, Fig. 10 step 3).
+
+    Wraps a baseline dynamic predictor.  On every event the runner first
+    "executes" the brhint instructions injected into the event's basic
+    block (filling the hint buffer), then predicts the block's branch:
+
+    - hint-buffer hit → predict with the hint (bias or Boolean formula
+      over the hashed history at the hint's length) and {e spectate} the
+      baseline, so it neither trains nor allocates for this branch;
+    - miss → baseline predict + train.
+
+    The hashed histories are the same folded registers the hardware
+    already maintains for TAGE (§III-A), kept here in a mirror updated
+    with every resolved outcome. *)
+
+type t
+
+val create :
+  Config.t -> baseline:Whisper_bpu.Predictor.t -> plan:Inject.t -> t
+
+val exec : t -> Whisper_trace.Branch.event -> bool
+(** Process one event end-to-end (hint execution, prediction, training,
+    history update).  Returns whether the prediction was correct. *)
+
+val predictor_name : t -> string
+
+val hinted_predictions : t -> int
+(** Predictions served by hints (hint-buffer hits). *)
+
+val hinted_mispredictions : t -> int
+
+val baseline_predictions : t -> int
+
+val buffer : t -> Hint_buffer.t

@@ -1,0 +1,28 @@
+type t = And | Or | Imp | Cnimp
+
+let all = [| And; Or; Imp; Cnimp |]
+let classic = [| And; Or |]
+
+let eval op a b =
+  match op with
+  | And -> a && b
+  | Or -> a || b
+  | Imp -> (not a) || b
+  | Cnimp -> (not a) && b
+
+let to_code = function And -> 0 | Or -> 1 | Imp -> 2 | Cnimp -> 3
+
+let of_code = function
+  | 0 -> And
+  | 1 -> Or
+  | 2 -> Imp
+  | 3 -> Cnimp
+  | _ -> invalid_arg "Op.of_code"
+
+let name = function
+  | And -> "and"
+  | Or -> "or"
+  | Imp -> "implication"
+  | Cnimp -> "converse-nonimplication"
+
+let pp fmt op = Format.pp_print_string fmt (name op)

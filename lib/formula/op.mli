@@ -1,0 +1,30 @@
+(** The four Boolean node operations of Whisper's extended ROMBF
+    (paper §III-C, Fig. 8).
+
+    The original ROMBF work (Jiménez et al., 2001) allows only [And] and
+    [Or]; Whisper adds Implication and Converse Non-Implication, which
+    Fig. 7 of the paper shows cover a further ~18 % of branch executions. *)
+
+type t =
+  | And  (** a ∧ b *)
+  | Or  (** a ∨ b *)
+  | Imp  (** a → b  ≡  ¬a ∨ b *)
+  | Cnimp  (** converse non-implication: ¬a ∧ b *)
+
+val all : t array
+(** The four operations, in encoding order. *)
+
+val classic : t array
+(** The two operations of classic ROMBF: [[|And; Or|]]. *)
+
+val eval : t -> bool -> bool -> bool
+(** Apply the operation to two operands. *)
+
+val to_code : t -> int
+(** 2-bit encoding used in the [brhint] formula field. *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}.  @raise Invalid_argument outside \[0,3\]. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+(** Read-once Boolean formula trees over a fixed number of input bits.
+
+    A formula is a complete binary tree whose leaves are the input bits
+    (leaf [i] reads history bit [i]) and whose internal nodes each apply
+    one {!Op.t}, plus a final output-inversion bit — exactly the structure
+    of the paper's Fig. 9 micro-architecture: for 8 inputs, 7 single units
+    with 2-bit op selectors (control inputs O0..O13) feed a final 2×1
+    multiplexer controlled by the inversion input I, giving the 15-bit
+    formula field of the [brhint] instruction (Fig. 11).
+
+    Classic ROMBF (and/or only, no inversion) is the sub-family encoded by
+    {!to_classic_id} / {!of_classic_id} in [leaves - 1] bits, matching the
+    2001 paper's storage claim. *)
+
+type t
+
+val leaves : t -> int
+(** Number of input bits; a power of two, at least 2. *)
+
+val ops : t -> Op.t array
+(** The [leaves - 1] node operations in level order (root first).  Node
+    [i]'s children are nodes [2i+1] and [2i+2]; nodes
+    [leaves-1 .. 2*leaves-2] are the leaves, reading input bits
+    [0 .. leaves-1] in order. *)
+
+val inverted : t -> bool
+(** Whether the root output is inverted. *)
+
+val make : ops:Op.t array -> inverted:bool -> t
+(** [make ~ops ~inverted] builds a tree; [Array.length ops + 1] must be a
+    power of two at least 2.  @raise Invalid_argument otherwise. *)
+
+val eval : t -> int -> bool
+(** [eval t bits] evaluates the formula on the packed input [bits]
+    (input bit [i] of the formula is bit [i] of the int). *)
+
+(** {1 Identifier encoding}
+
+    Every formula over [n] leaves has a unique id in
+    [0 .. 2^(2(n-1)+1) - 1]: node [i]'s op occupies id bits [2i .. 2i+1]
+    and the inversion flag is the top bit.  For [n = 8] this is the 15-bit
+    space the paper's randomized formula testing samples from. *)
+
+val id_bits : leaves:int -> int
+(** Number of id bits: [2*(leaves-1) + 1]. *)
+
+val space_size : leaves:int -> int
+(** [2 ^ id_bits], the size of the search space (e.g. 32768 for 8 leaves). *)
+
+val to_id : t -> int
+val of_id : leaves:int -> int -> t
+(** @raise Invalid_argument if the id is out of range. *)
+
+(** {1 Classic ROMBF encoding (and/or only, [leaves - 1] bits)} *)
+
+val is_classic : t -> bool
+(** True when the tree uses only [And]/[Or] and no inversion. *)
+
+val to_classic_id : t -> int
+(** @raise Invalid_argument if not {!is_classic}. *)
+
+val of_classic_id : leaves:int -> int -> t
+val classic_space_size : leaves:int -> int
+
+(** {1 Truth tables} *)
+
+val truth_table : t -> Bytes.t
+(** [truth_table t] has [2^leaves] entries of ['\000' | '\001'];
+    entry [k] is [eval t k].  Used to make Algorithm 1 and the run-time
+    hint evaluation O(1) per lookup. *)
+
+val eval_tt : Bytes.t -> int -> bool
+(** [eval_tt table bits] looks up a packed input in a truth table. *)
+
+(** {1 Hardware model} *)
+
+val gate_delay : leaves:int -> int
+(** Worst-case logic depth in gates of the Fig. 9 implementation:
+    [5 * log2 leaves] for the single-unit layers (NOT, AND/OR, 3 gates of
+    the 4×1 mux each) plus 4 for the final inverting 2×1 mux stage — 19
+    gates for 8 leaves, as computed in the paper. *)
+
+(** {1 Convenience} *)
+
+val all_ops : Op.t -> leaves:int -> t
+(** [all_ops op ~leaves] is the uninverted tree with [op] at every node;
+    e.g. [all_ops And ~leaves:8] is the 8-way conjunction. *)
+
+val random : Whisper_util.Rng.t -> leaves:int -> t
+(** A uniformly random formula over the full id space. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders e.g. [~((b0 and b1) or (b2 imp b3))]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,21 @@
+(** Generic set-associative LRU cache of line tags, used for the L1i/L2/L3
+    instruction-side hierarchy and for the BTB. *)
+
+type t
+
+val create : ?bytes:int -> ?entries:int -> assoc:int -> line_bytes:int -> unit -> t
+(** Size by [bytes] (capacity / line size sets the entry count) or
+    directly by [entries].  @raise Invalid_argument unless exactly one of
+    the two is given and geometry is a power of two. *)
+
+val entries : t -> int
+
+val access : t -> int -> bool
+(** [access t addr] probes the line containing [addr] and updates LRU /
+    fills on miss; returns whether it hit. *)
+
+val probe : t -> int -> bool
+(** Hit test without state change. *)
+
+val hits : t -> int
+val misses : t -> int

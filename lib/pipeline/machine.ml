@@ -1,0 +1,125 @@
+open Whisper_trace
+
+type result = {
+  cycles : float;
+  instrs : int;
+  branches : int;
+  mispredicts : int;
+  misp_stall : float;
+  fe_stall : float;
+  btb_stall : float;
+  l1i_misses : int;
+  exposed_misses : int;
+  seg_mispredicts : int array;
+  seg_instrs : int array;
+}
+
+let ipc r = if r.cycles = 0.0 then 0.0 else float_of_int r.instrs /. r.cycles
+
+let mpki r =
+  if r.instrs = 0 then 0.0
+  else 1000.0 *. float_of_int r.mispredicts /. float_of_int r.instrs
+
+let speedup_pct ~baseline ~improved =
+  Whisper_util.Stats.speedup_pct ~baseline:baseline.cycles
+    ~improved:improved.cycles
+
+let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict () =
+  let l1i =
+    Cache.create ~bytes:params.Params.l1i_bytes ~assoc:params.l1i_assoc
+      ~line_bytes:params.line_bytes ()
+  in
+  let l2 =
+    Cache.create ~bytes:params.l2_bytes ~assoc:params.l2_assoc
+      ~line_bytes:params.line_bytes ()
+  in
+  let l3 =
+    Cache.create ~bytes:params.l3_bytes ~assoc:params.l3_assoc
+      ~line_bytes:params.line_bytes ()
+  in
+  let btb =
+    Cache.create ~entries:params.btb_entries ~assoc:params.btb_assoc
+      ~line_bytes:4 ()
+  in
+  let cycles = ref 0.0 in
+  let misp_stall = ref 0.0 in
+  let fe_stall = ref 0.0 in
+  let btb_stall = ref 0.0 in
+  let instrs = ref 0 in
+  let mispredicts = ref 0 in
+  let l1i_misses = ref 0 in
+  let exposed = ref 0 in
+  (* FDIP lead: how many cycles ahead of fetch the prefetcher runs.  The
+     lead is bounded by the FTQ's depth and collapses on resteers. *)
+  let lead = ref 0.0 in
+  let lead_cap =
+    float_of_int params.ftq_entries *. params.ftq_cycles_per_entry
+  in
+  let width = float_of_int params.width in
+  let seg_mispredicts = Array.make segments 0 in
+  let seg_instrs = Array.make segments 0 in
+  let seg_size = max 1 ((events + segments - 1) / segments) in
+  for ev = 0 to events - 1 do
+    let seg = min (segments - 1) (ev / seg_size) in
+    let e = source () in
+    instrs := !instrs + e.Branch.instrs;
+    seg_instrs.(seg) <- seg_instrs.(seg) + e.Branch.instrs;
+    (* instruction fetch for the block's lines *)
+    let first_line = e.Branch.pc - ((e.Branch.instrs - 1) * Cfg.instr_bytes) in
+    let last = e.Branch.pc in
+    let line = ref (first_line - (first_line mod params.line_bytes)) in
+    while !line <= last do
+      if not (Cache.access l1i !line) then begin
+        incr l1i_misses;
+        let latency =
+          if Cache.access l2 !line then float_of_int params.l2_latency
+          else if Cache.access l3 !line then float_of_int params.l3_latency
+          else float_of_int params.mem_latency
+        in
+        (* FDIP hides the part of the miss covered by its lead *)
+        let exposed_cycles = Float.max 0.0 (latency -. !lead) in
+        if exposed_cycles > 0.0 then incr exposed;
+        fe_stall := !fe_stall +. exposed_cycles;
+        cycles := !cycles +. exposed_cycles
+      end;
+      line := !line + params.line_bytes
+    done;
+    (* execute the block: fetch-width-limited frontend plus the averaged
+       backend latency (Params.backend_cpi) *)
+    let base =
+      float_of_int e.Branch.instrs
+      *. ((1.0 /. width) +. params.backend_cpi)
+    in
+    cycles := !cycles +. base;
+    lead := Float.min lead_cap (!lead +. base);
+    (* branch resolution *)
+    let correct = predict e in
+    if not correct then begin
+      incr mispredicts;
+      seg_mispredicts.(seg) <- seg_mispredicts.(seg) + 1;
+      let p = float_of_int params.resteer_penalty in
+      cycles := !cycles +. p;
+      misp_stall := !misp_stall +. p;
+      lead := 0.0
+    end
+    else if e.Branch.taken && not (Cache.access btb e.Branch.pc) then begin
+      (* taken branch with unknown target: decode-resteer bubble *)
+      let p = float_of_int params.btb_miss_penalty in
+      cycles := !cycles +. p;
+      btb_stall := !btb_stall +. p;
+      lead := Float.max 0.0 (!lead -. p)
+    end
+  done;
+  {
+    cycles = !cycles;
+    instrs = !instrs;
+    branches = events;
+    mispredicts = !mispredicts;
+    misp_stall = !misp_stall;
+    fe_stall = !fe_stall;
+    btb_stall = !btb_stall;
+    l1i_misses = !l1i_misses;
+    exposed_misses = !exposed;
+    seg_mispredicts;
+    seg_instrs;
+  }

@@ -1,0 +1,53 @@
+(** Trace-driven timing model — the reproduction's substitute for the
+    Scarab simulator (DESIGN.md §2).
+
+    A decoupled-frontend, interval-style cycle account over basic-block
+    events:
+
+    - every block costs [instrs / width] base cycles;
+    - its instruction lines probe the L1i/L2/L3 hierarchy; a miss stalls
+      the frontend only for the part FDIP could not hide, where the
+      prefetcher's lead grows with the branch-predictor-filled FTQ and
+      collapses to zero on every misprediction resteer;
+    - a mispredicted branch pays the squash/refill penalty;
+    - a taken branch whose target misses in the BTB pays a decode-resteer
+      bubble and dents the FDIP lead.
+
+    This reproduces the two mechanisms behind the paper's Fig. 1
+    decomposition: removing mispredictions removes squash cycles {e and}
+    restores FDIP lookahead, which converts exposed I-cache misses into
+    hidden ones (the paper's "frontend stalls avoided by FDIP"). *)
+
+type result = {
+  cycles : float;
+  instrs : int;
+  branches : int;
+  mispredicts : int;
+  misp_stall : float;  (** squash/refill cycles *)
+  fe_stall : float;  (** exposed instruction-fetch miss cycles *)
+  btb_stall : float;
+  l1i_misses : int;
+  exposed_misses : int;  (** misses FDIP failed to fully hide *)
+  seg_mispredicts : int array;
+      (** mispredictions per equal trace segment (for warm-up and
+          trace-length sweeps, Figs. 22–23) *)
+  seg_instrs : int array;
+}
+
+val ipc : result -> float
+val mpki : result -> float
+
+val speedup_pct : baseline:result -> improved:result -> float
+(** Percentage IPC speedup of [improved] over [baseline] (same trace). *)
+
+val run :
+  ?params:Params.t ->
+  ?segments:int ->
+  events:int ->
+  source:Whisper_trace.Branch.source ->
+  predict:(Whisper_trace.Branch.event -> bool) ->
+  unit ->
+  result
+(** [predict e] must carry out the full predict/train protocol of the
+    modelled predictor and return whether the direction was predicted
+    correctly. *)

@@ -1,0 +1,59 @@
+type t = {
+  freq_ghz : float;
+  width : int;
+  ftq_entries : int;
+  rob_entries : int;
+  rs_entries : int;
+  btb_entries : int;
+  btb_assoc : int;
+  l1i_bytes : int;
+  l1i_assoc : int;
+  l2_bytes : int;
+  l2_assoc : int;
+  l3_bytes : int;
+  l3_assoc : int;
+  line_bytes : int;
+  l2_latency : int;
+  l3_latency : int;
+  mem_latency : int;
+  resteer_penalty : int;
+  btb_miss_penalty : int;
+  ftq_cycles_per_entry : float;
+  backend_cpi : float;
+}
+
+let default =
+  {
+    freq_ghz = 3.2;
+    width = 6;
+    ftq_entries = 24;
+    rob_entries = 224;
+    rs_entries = 97;
+    btb_entries = 8192;
+    btb_assoc = 4;
+    l1i_bytes = 32 * 1024;
+    l1i_assoc = 8;
+    l2_bytes = 1024 * 1024;
+    l2_assoc = 16;
+    l3_bytes = 10 * 1024 * 1024;
+    l3_assoc = 20;
+    line_bytes = 64;
+    l2_latency = 12;
+    l3_latency = 40;
+    mem_latency = 200;
+    resteer_penalty = 14;
+    btb_miss_penalty = 8;
+    ftq_cycles_per_entry = 2.0;
+    backend_cpi = 0.28;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%.1fGHz %d-wide OOO, %d-entry FTQ, %d-entry ROB, %d-entry RS@ \
+     %d-entry %d-way BTB@ %dKB %d-way L1i, %dKB %d-way L2, %dMB %d-way L3@]"
+    t.freq_ghz t.width t.ftq_entries t.rob_entries t.rs_entries t.btb_entries
+    t.btb_assoc (t.l1i_bytes / 1024) t.l1i_assoc
+    (t.l2_bytes / 1024)
+    t.l2_assoc
+    (t.l3_bytes / 1024 / 1024)
+    t.l3_assoc

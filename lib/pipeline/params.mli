@@ -1,0 +1,39 @@
+(** Simulated machine parameters (paper Table II).
+
+    3.2 GHz, 6-wide OOO core with a 24-entry FTQ and 224-entry ROB;
+    8192-entry 4-way BTB; 32 KB 8-way L1i, 1 MB 16-way L2,
+    10 MB 20-way L3. *)
+
+type t = {
+  freq_ghz : float;
+  width : int;  (** fetch/retire width *)
+  ftq_entries : int;
+  rob_entries : int;
+  rs_entries : int;
+  btb_entries : int;
+  btb_assoc : int;
+  l1i_bytes : int;
+  l1i_assoc : int;
+  l2_bytes : int;
+  l2_assoc : int;
+  l3_bytes : int;
+  l3_assoc : int;
+  line_bytes : int;
+  l2_latency : int;  (** cycles, L1i miss hitting L2 *)
+  l3_latency : int;
+  mem_latency : int;
+  resteer_penalty : int;
+      (** cycles lost on a branch misprediction (squash + frontend refill) *)
+  btb_miss_penalty : int;  (** decode-resteer bubble for a taken BTB miss *)
+  ftq_cycles_per_entry : float;
+      (** FDIP lookahead each queued fetch-target buys the prefetcher *)
+  backend_cpi : float;
+      (** average non-branch backend latency per instruction (data-cache
+          misses, dependence stalls) — not modelled in detail, but needed
+          so that branch-stall cycles are diluted to a realistic share of
+          total execution time *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

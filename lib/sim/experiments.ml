@@ -1,0 +1,684 @@
+open Whisper_trace
+open Whisper_pipeline
+
+let dc_apps = Workloads.datacenter
+let whisper_default = Runner.Whisper Whisper_core.Config.default
+
+let reduction ~(base : Machine.result) ~(better : Machine.result) =
+  Whisper_util.Stats.reduction_pct
+    ~baseline:(float_of_int base.Machine.mispredicts)
+    ~improved:(float_of_int better.Machine.mispredicts)
+
+(* ------------------------------------------------------------------ *)
+
+let paper_workloads =
+  [
+    ("mysql", "TPC-C queries (synthetic session model)");
+    ("postgres", "pgbench queries (synthetic session model)");
+    ("clang", "building LLVM (synthetic session model)");
+    ("python", "pyperformance benchmarks (synthetic session model)");
+    ("finagle-chirper", "Renaissance suite (synthetic session model)");
+    ("finagle-http", "Renaissance suite (synthetic session model)");
+    ("cassandra", "DaCapo suite (synthetic session model)");
+    ("kafka", "DaCapo suite (synthetic session model)");
+    ("tomcat", "DaCapo suite (synthetic session model)");
+    ("drupal", "OSS-performance suite (synthetic session model)");
+    ("wordpress", "OSS-performance suite (synthetic session model)");
+    ("mediawiki", "OSS-performance suite (synthetic session model)");
+  ]
+
+let table1 () =
+  let rows =
+    List.map
+      (fun (name, _) ->
+        let c = Option.get (Workloads.by_name name) in
+        let cfg = Workloads.build_cfg c in
+        ( name,
+          [
+            float_of_int c.Workloads.functions;
+            float_of_int (Cfg.n_branches cfg);
+            float_of_int cfg.Cfg.footprint /. 1024.0;
+          ] ))
+      paper_workloads
+  in
+  Report.make ~id:"table1" ~title:"Data center applications and workloads"
+    ~header:[ "app"; "functions"; "static-branches"; "code-KB" ]
+    ~notes:
+      [
+        "workloads are the synthetic session-model substitutes described in \
+         DESIGN.md (paper Table I lists the real suites)";
+      ]
+    rows
+
+let table2 () =
+  let p = Params.default in
+  Report.make ~id:"table2" ~title:"Simulator parameters (paper Table II)"
+    ~header:[ "parameter"; "value" ]
+    [
+      ("freq-GHz", [ p.Params.freq_ghz ]);
+      ("width", [ float_of_int p.width ]);
+      ("FTQ-entries", [ float_of_int p.ftq_entries ]);
+      ("ROB-entries", [ float_of_int p.rob_entries ]);
+      ("RS-entries", [ float_of_int p.rs_entries ]);
+      ("BTB-entries", [ float_of_int p.btb_entries ]);
+      ("L1i-KB", [ float_of_int (p.l1i_bytes / 1024) ]);
+      ("L2-KB", [ float_of_int (p.l2_bytes / 1024) ]);
+      ("L3-MB", [ float_of_int (p.l3_bytes / 1024 / 1024) ]);
+      ("mispredict-penalty", [ float_of_int p.resteer_penalty ]);
+    ]
+
+let table3 () =
+  let c = Whisper_core.Config.default in
+  Report.make ~id:"table3" ~title:"Whisper design parameters (paper Table III)"
+    ~header:[ "parameter"; "value" ]
+    [
+      ("min-history-length", [ float_of_int c.min_len ]);
+      ("max-history-length", [ float_of_int c.max_len ]);
+      ("different-history-lengths", [ float_of_int c.n_lengths ]);
+      ("hashed-history-length", [ float_of_int c.hash_bits ]);
+      ("logical-operations", [ 4.0 ]);
+      ("hint-buffer-size", [ float_of_int c.hint_buffer_size ]);
+      ("explore-fraction-%", [ 100.0 *. c.explore_frac ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let base = Runner.run ctx app Runner.Baseline in
+           let ideal = Runner.run ctx app Runner.Ideal in
+           let total = Machine.speedup_pct ~baseline:base ~improved:ideal in
+           let misp_part =
+             100.0
+             *. (base.Machine.misp_stall -. ideal.Machine.misp_stall)
+             /. ideal.Machine.cycles
+           in
+           let fe_part =
+             100.0
+             *. (base.Machine.fe_stall -. ideal.Machine.fe_stall)
+             /. ideal.Machine.cycles
+           in
+           (app.Workloads.name, [ misp_part; fe_part; total ]))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig1"
+       ~title:"Ideal-predictor limit study: speedup split (%)"
+       ~header:[ "app"; "misprediction-stalls"; "frontend-stalls"; "total" ]
+       rows)
+
+let fig2 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let base = Runner.run ctx app Runner.Baseline in
+           (app.Workloads.name, [ Machine.mpki base ]))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig2" ~title:"Branch-MPKI of 64KB TAGE-SC-L"
+       ~header:[ "app"; "branch-MPKI" ] rows)
+
+let fig3 ctx =
+  let tagged_entries kb =
+    let s = Whisper_bpu.Sizes.for_budget ~kb in
+    s.Whisper_bpu.Sizes.tage.Whisper_bpu.Tage.n_tables
+    * (1 lsl s.Whisper_bpu.Sizes.tage.Whisper_bpu.Tage.log_entries)
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let classifier =
+             Whisper_core.Classify.create
+               ~capacity_entries:(tagged_entries (Runner.baseline_kb ctx))
+               ()
+           in
+           let p =
+             Whisper_bpu.Tage_scl.predictor
+               (Whisper_bpu.Sizes.for_budget ~kb:(Runner.baseline_kb ctx))
+           in
+           let cfg = Runner.cfg_of ctx app in
+           let src =
+             App_model.source (App_model.create ~cfg ~config:app ~input:1 ())
+           in
+           for _ = 1 to Runner.events ctx do
+             let e = src () in
+             let pred = p.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
+             p.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
+             ignore
+               (Whisper_core.Classify.note classifier ~pc:e.Branch.pc
+                  ~taken:e.Branch.taken
+                  ~mispredicted:(pred <> e.Branch.taken))
+           done;
+           let c = Whisper_core.Classify.counts classifier in
+           let f cls = 100.0 *. Whisper_core.Classify.fraction c cls in
+           ( app.Workloads.name,
+             [
+               f Whisper_core.Classify.Compulsory;
+               f Whisper_core.Classify.Capacity;
+               f Whisper_core.Classify.Conflict;
+               f Whisper_core.Classify.Conditional_on_data;
+             ] ))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig3" ~title:"Misprediction class breakdown (%)"
+       ~header:[ "app"; "compulsory"; "capacity"; "conflict"; "cond-on-data" ]
+       rows)
+
+let prior_techniques =
+  [
+    ("4b-ROMBF", Runner.Rombf 4);
+    ("8b-ROMBF", Runner.Rombf 8);
+    ("8KB-BranchNet", Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192));
+    ("32KB-BranchNet", Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 32768));
+    ("Unl-BranchNet", Runner.Branchnet Whisper_branchnet.Branchnet.Unlimited);
+  ]
+
+let fig4 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let base = Runner.run ctx app Runner.Baseline in
+           ( app.Workloads.name,
+             List.map
+               (fun (_, t) -> reduction ~base ~better:(Runner.run ctx app t))
+               prior_techniques ))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig4"
+       ~title:"Prior profile-guided techniques: misprediction reduction (%)"
+       ~header:("app" :: List.map fst prior_techniques)
+       rows)
+
+let cdf_points = [ 1; 4; 16; 64; 256; 1024; 4096; 16384 ]
+
+let fig5 ctx =
+  let rows =
+    List.map
+      (fun app ->
+        let prof = Runner.profile ctx app in
+        let per_branch = ref [] in
+        Profile.iter_stats prof ~f:(fun ~pc:_ s ->
+            per_branch := s.Profile.mispred :: !per_branch);
+        let sorted =
+          List.sort (fun a b -> compare b a) !per_branch |> Array.of_list
+        in
+        let total =
+          float_of_int (max 1 (Array.fold_left ( + ) 0 sorted))
+        in
+        let cum_at k =
+          let k = min k (Array.length sorted) in
+          let s = ref 0 in
+          for i = 0 to k - 1 do
+            s := !s + sorted.(i)
+          done;
+          100.0 *. float_of_int !s /. total
+        in
+        (app.Workloads.name, List.map cum_at cdf_points))
+      (Array.to_list Workloads.spec @ Array.to_list dc_apps)
+  in
+  Report.make ~id:"fig5"
+    ~title:"CDF of mispredictions over static branches (%)"
+    ~header:("app" :: List.map string_of_int cdf_points)
+    ~notes:
+      [
+        "SPEC-like rows first: their mass concentrates in the top few \
+         branches; data-center rows spread over thousands (paper Fig. 5)";
+      ]
+    rows
+
+(* paper Fig. 6 buckets over history lengths *)
+let fig6_buckets =
+  [ (1, 8); (9, 16); (17, 32); (33, 64); (65, 128); (129, 256); (257, 512); (513, 1024) ]
+
+let fig6 ctx =
+  let lengths = Workloads.lengths in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let analysis = Runner.whisper_analysis ctx app in
+           let dist =
+             Whisper_core.Analyze.length_distribution analysis
+               (Runner.profile ctx app)
+           in
+           let bucket_sum (lo, hi) =
+             let s = ref 0.0 in
+             Array.iteri
+               (fun i frac ->
+                 if lengths.(i) >= lo && lengths.(i) <= hi then s := !s +. frac)
+               dist;
+             100.0 *. !s
+           in
+           (app.Workloads.name, List.map bucket_sum fig6_buckets))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig6"
+       ~title:"Whisper-avoided mispredictions by correlation history length (%)"
+       ~header:
+         ("app"
+         :: List.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi) fig6_buckets)
+       rows)
+
+let fig7 ctx =
+  let classes =
+    Whisper_core.Analyze.
+      [ C_and; C_always; C_cnimplication; C_implication; C_never; C_or; C_others ]
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let analysis = Runner.whisper_analysis ctx app in
+           let dist =
+             Whisper_core.Analyze.op_distribution analysis
+               (Runner.profile ctx app)
+           in
+           ( app.Workloads.name,
+             List.map
+               (fun cls ->
+                 match List.assoc_opt cls dist with
+                 | Some f -> 100.0 *. f
+                 | None -> 0.0)
+               classes ))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig7"
+       ~title:"Candidate branch executions by best-formula operation (%)"
+       ~header:("app" :: List.map Whisper_core.Analyze.op_class_name classes)
+       rows)
+
+(* ------------------------------------------------------------------ *)
+
+let fig12_techniques =
+  prior_techniques
+  @ [
+      ("Whisper", whisper_default);
+      ("Unl-MTAGE-SC", Runner.Mtage_sc);
+      ("Ideal", Runner.Ideal);
+    ]
+
+let fig12 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let base = Runner.run ctx app Runner.Baseline in
+           ( app.Workloads.name,
+             List.map
+               (fun (_, t) ->
+                 Machine.speedup_pct ~baseline:base
+                   ~improved:(Runner.run ctx app t))
+               fig12_techniques ))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig12" ~title:"Speedup over 64KB TAGE-SC-L (%)"
+       ~header:("app" :: List.map fst fig12_techniques)
+       rows)
+
+let fig13_techniques = prior_techniques @ [ ("Whisper", whisper_default) ]
+
+let fig13 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let base = Runner.run ctx app Runner.Baseline in
+           ( app.Workloads.name,
+             List.map
+               (fun (_, t) -> reduction ~base ~better:(Runner.run ctx app t))
+               fig13_techniques ))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig13"
+       ~title:"Misprediction reduction over 64KB TAGE-SC-L (%)"
+       ~header:("app" :: List.map fst fig13_techniques)
+       rows)
+
+let fig14 ctx =
+  let classic_whisper =
+    Runner.Whisper { Whisper_core.Config.default with ops = `Classic }
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let base = Runner.run ctx app Runner.Baseline in
+           let r8 = reduction ~base ~better:(Runner.run ctx app (Runner.Rombf 8)) in
+           let rc = reduction ~base ~better:(Runner.run ctx app classic_whisper) in
+           let rw = reduction ~base ~better:(Runner.run ctx app whisper_default) in
+           (* hashed-history contribution = classic-ops Whisper over 8b-ROMBF;
+              imp/cnimp contribution = full Whisper over classic-ops Whisper *)
+           (app.Workloads.name, [ rc -. r8; rw -. rc ]))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig14"
+       ~title:"Whisper improvement over 8b-ROMBF, by technique (pp)"
+       ~header:[ "app"; "hashed-history-correlation"; "imp/cnimp" ]
+       rows)
+
+let fig15 ?(app = "cassandra") ctx =
+  let app = Option.get (Workloads.by_name app) in
+  let base = Runner.run ctx app Runner.Baseline in
+  let fractions = [ 0.001; 0.01; 0.1; 1.0 ] in
+  let rows =
+    List.map
+      (fun frac ->
+        let config =
+          {
+            Whisper_core.Config.default with
+            explore_frac = frac;
+            (* fixed hint coverage across points keeps the sweep
+               apples-to-apples while bounding the exhaustive search *)
+            max_hints = 256;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let analysis = Runner.whisper_analysis ~config ctx app in
+        let train_time = Unix.gettimeofday () -. t0 in
+        let r =
+          reduction ~base ~better:(Runner.run ctx app (Runner.Whisper config))
+        in
+        ( Printf.sprintf "%.1f%%" (100.0 *. frac),
+          [
+            r;
+            train_time;
+            float_of_int (Whisper_core.Analyze.hint_count analysis);
+          ] ))
+      fractions
+  in
+  Report.make ~id:"fig15"
+    ~title:"Randomized formula testing: exploration sweep (cassandra)"
+    ~header:[ "explored"; "reduction-%"; "training-s"; "hints" ]
+    ~notes:[ "hint coverage capped at 256 branches for every point" ]
+    rows
+
+let fig16 ctx =
+  let one app =
+    let prof = Runner.profile ctx app in
+    let r4 = (Whisper_rombf.Rombf.train ~n:4 prof).training_seconds in
+    let r8 = (Whisper_rombf.Rombf.train ~n:8 prof).training_seconds in
+    let b8 =
+      (Whisper_branchnet.Branchnet.train
+         ~budget:(Whisper_branchnet.Branchnet.Budget 8192) prof)
+        .training_seconds
+    in
+    let b32 =
+      (Whisper_branchnet.Branchnet.train
+         ~budget:(Whisper_branchnet.Branchnet.Budget 32768) prof)
+        .training_seconds
+    in
+    let bu =
+      (Whisper_branchnet.Branchnet.train
+         ~budget:Whisper_branchnet.Branchnet.Unlimited prof)
+        .training_seconds
+    in
+    let w = (Whisper_core.Analyze.run prof).training_seconds in
+    [ r4; r8; b8; b32; bu; w ]
+  in
+  let sample_apps = [ dc_apps.(0); dc_apps.(7); dc_apps.(9) ] in
+  let rows =
+    List.map (fun app -> (app.Workloads.name, one app)) sample_apps
+  in
+  Report.with_mean
+    (Report.make ~id:"fig16" ~title:"Offline training time (seconds)"
+       ~header:
+         [
+           "app";
+           "4b-ROMBF";
+           "8b-ROMBF";
+           "8KB-BranchNet";
+           "32KB-BranchNet";
+           "Unl-BranchNet";
+           "Whisper";
+         ]
+       rows)
+
+let fig17 ctx =
+  let rows =
+    Array.to_list dc_apps
+    |> List.concat_map (fun app ->
+           List.map
+             (fun test_input ->
+               let base =
+                 Runner.run ~test_input ctx app Runner.Baseline
+               in
+               let cross =
+                 reduction ~base
+                   ~better:
+                     (Runner.run ~train_inputs:[ 0 ] ~test_input ctx app
+                        whisper_default)
+               in
+               let same =
+                 reduction ~base
+                   ~better:
+                     (Runner.run ~train_inputs:[ test_input ] ~test_input ctx
+                        app whisper_default)
+               in
+               ( Printf.sprintf "%s#%d" app.Workloads.name test_input,
+                 [ cross; same ] ))
+             [ 1; 2; 3 ])
+  in
+  Report.with_mean
+    (Report.make ~id:"fig17"
+       ~title:"Input sensitivity: training-input vs same-input profile (%)"
+       ~header:[ "app#input"; "profile-from-training-input"; "profile-from-same-input" ]
+       rows)
+
+let fig18 ctx =
+  let test_input = 5 in
+  let techniques =
+    [
+      ("8b-ROMBF", Runner.Rombf 8);
+      ("Unl-BranchNet", Runner.Branchnet Whisper_branchnet.Branchnet.Unlimited);
+      ("Whisper", whisper_default);
+    ]
+  in
+  let sample_apps = [ dc_apps.(0); dc_apps.(7); dc_apps.(9); dc_apps.(4) ] in
+  let rows =
+    List.map
+      (fun k ->
+        let train_inputs = List.init k Fun.id in
+        let vals =
+          List.map
+            (fun (_, t) ->
+              Whisper_util.Stats.mean
+                (Array.of_list
+                   (List.map
+                      (fun app ->
+                        let base =
+                          Runner.run ~test_input ctx app Runner.Baseline
+                        in
+                        reduction ~base
+                          ~better:(Runner.run ~train_inputs ~test_input ctx app t))
+                      sample_apps)))
+            techniques
+        in
+        (Printf.sprintf "%d-input%s" k (if k > 1 then "s" else ""), vals))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Report.make ~id:"fig18"
+    ~title:"Merged profiles from multiple inputs: avg reduction (%)"
+    ~header:("profiles" :: List.map fst techniques)
+    ~notes:[ "averaged over cassandra, mysql, python, finagle-http" ]
+    rows
+
+let fig19 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app ->
+           let plan = Runner.whisper_plan ctx app in
+           let cfg = Runner.cfg_of ctx app in
+           let static = Whisper_core.Inject.static_overhead_pct plan cfg in
+           let dynamic =
+             Whisper_core.Inject.dynamic_overhead_pct plan cfg
+               ~source:
+                 (App_model.source
+                    (App_model.create ~cfg ~config:app ~input:1 ()))
+               ~events:(min 400_000 (Runner.events ctx))
+           in
+           (app.Workloads.name, [ static; dynamic ]))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig19"
+       ~title:"brhint instruction overhead (%)"
+       ~header:[ "app"; "static"; "dynamic" ]
+       rows)
+
+let reduction_at_kb ctx app kb =
+  let base = Runner.run ~baseline_kb:kb ctx app Runner.Baseline in
+  let w = Runner.run ~baseline_kb:kb ctx app whisper_default in
+  reduction ~base ~better:w
+
+let fig20 ctx =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun app -> (app.Workloads.name, [ reduction_at_kb ctx app 128 ]))
+         dc_apps)
+  in
+  Report.with_mean
+    (Report.make ~id:"fig20"
+       ~title:"Whisper misprediction reduction over 128KB TAGE-SC-L (%)"
+       ~header:[ "app"; "reduction" ] rows)
+
+let fig21 ctx =
+  (* six representative applications keep the 8-point sweep tractable;
+     each point needs its own per-size profile collection *)
+  let sweep_apps =
+    [| dc_apps.(0); dc_apps.(1); dc_apps.(4); dc_apps.(7); dc_apps.(8); dc_apps.(10) |]
+  in
+  let rows =
+    List.map
+      (fun kb ->
+        let vals =
+          Array.map (fun app -> reduction_at_kb ctx app kb) sweep_apps
+        in
+        (Printf.sprintf "%dKB" kb, [ Whisper_util.Stats.mean vals ]))
+      [ 8; 16; 32; 64; 128; 256; 512; 1024 ]
+  in
+  Report.make ~id:"fig21"
+    ~title:"Average Whisper reduction vs baseline predictor size (%)"
+    ~header:[ "size"; "avg-reduction" ]
+    ~notes:
+      [ "averaged over cassandra, clang, finagle-http, mysql, postgres, tomcat" ]
+    rows
+
+(* suffix reduction after skipping the first [w] of 10 segments *)
+let suffix_reduction (base : Machine.result) (w : Machine.result) ~skip =
+  let sum (r : Machine.result) =
+    let s = ref 0 in
+    Array.iteri
+      (fun i m -> if i >= skip then s := !s + m)
+      r.Machine.seg_mispredicts;
+    !s
+  in
+  Whisper_util.Stats.reduction_pct
+    ~baseline:(float_of_int (sum base))
+    ~improved:(float_of_int (sum w))
+
+let fig22 ctx =
+  let runs =
+    Array.map
+      (fun app ->
+        ( Runner.run ctx app Runner.Baseline,
+          Runner.run ctx app whisper_default ))
+      dc_apps
+  in
+  let rows =
+    List.map
+      (fun skip ->
+        let vals =
+          Array.map (fun (b, w) -> suffix_reduction b w ~skip) runs
+        in
+        ( Printf.sprintf "%d%%" (skip * 10),
+          [ Whisper_util.Stats.mean vals ] ))
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  Report.make ~id:"fig22"
+    ~title:"Average Whisper reduction vs warm-up fraction (%)"
+    ~header:[ "warmup"; "avg-reduction" ] rows
+
+let prefix_reduction (base : Machine.result) (w : Machine.result) ~upto =
+  let sum (r : Machine.result) =
+    let s = ref 0 in
+    Array.iteri
+      (fun i m -> if i < upto then s := !s + m)
+      r.Machine.seg_mispredicts;
+    !s
+  in
+  Whisper_util.Stats.reduction_pct
+    ~baseline:(float_of_int (sum base))
+    ~improved:(float_of_int (sum w))
+
+let fig23 ctx =
+  let runs =
+    Array.map
+      (fun app ->
+        ( Runner.run ctx app Runner.Baseline,
+          Runner.run ctx app whisper_default ))
+      dc_apps
+  in
+  let seg_events = Runner.events ctx / 10 in
+  let rows =
+    List.map
+      (fun upto ->
+        let vals =
+          Array.map (fun (b, w) -> prefix_reduction b w ~upto) runs
+        in
+        ( Printf.sprintf "%dk-events" (upto * seg_events / 1000),
+          [ Whisper_util.Stats.mean vals ] ))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  Report.make ~id:"fig23"
+    ~title:"Average Whisper reduction vs simulated trace length (%)"
+    ~header:[ "events"; "avg-reduction" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let all_ids =
+  [
+    "table1"; "table2"; "table3"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5";
+    "fig6"; "fig7"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17";
+    "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig23";
+  ]
+
+let by_id = function
+  | "table1" -> Some (fun _ -> table1 ())
+  | "table2" -> Some (fun _ -> table2 ())
+  | "table3" -> Some (fun _ -> table3 ())
+  | "fig1" -> Some fig1
+  | "fig2" -> Some fig2
+  | "fig3" -> Some fig3
+  | "fig4" -> Some fig4
+  | "fig5" -> Some fig5
+  | "fig6" -> Some fig6
+  | "fig7" -> Some fig7
+  | "fig12" -> Some fig12
+  | "fig13" -> Some fig13
+  | "fig14" -> Some fig14
+  | "fig15" -> Some (fun ctx -> fig15 ctx)
+  | "fig16" -> Some fig16
+  | "fig17" -> Some fig17
+  | "fig18" -> Some fig18
+  | "fig19" -> Some fig19
+  | "fig20" -> Some fig20
+  | "fig21" -> Some fig21
+  | "fig22" -> Some fig22
+  | "fig23" -> Some fig23
+  | _ -> None

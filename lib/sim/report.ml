@@ -1,0 +1,69 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : (string * float list) list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows =
+  { id; title; header; rows; notes }
+
+let with_mean ?(label = "Avg") t =
+  match t.rows with
+  | [] -> t
+  | (_, first) :: _ ->
+      let n_cols = List.length first in
+      let mean =
+        List.init n_cols (fun c ->
+            let vals =
+              List.filter_map
+                (fun (_, row) -> List.nth_opt row c)
+                t.rows
+            in
+            Whisper_util.Stats.mean (Array.of_list vals))
+      in
+      { t with rows = t.rows @ [ (label, mean) ] }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  let label_width =
+    List.fold_left
+      (fun acc (l, _) -> max acc (String.length l))
+      (String.length (List.hd t.header))
+      t.rows
+  in
+  let col_width =
+    List.fold_left (fun acc h -> max acc (String.length h)) 9 (List.tl t.header)
+    + 2
+  in
+  Buffer.add_string buf (Printf.sprintf "%-*s" (label_width + 2) (List.hd t.header));
+  List.iter
+    (fun h -> Buffer.add_string buf (Printf.sprintf "%*s" col_width h))
+    (List.tl t.header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, vals) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" (label_width + 2) label);
+      List.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "%*.2f" col_width v))
+        vals;
+      Buffer.add_char buf '\n')
+    t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," t.header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, vals) ->
+      Buffer.add_string buf label;
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%.4f" v)) vals;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf

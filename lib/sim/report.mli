@@ -1,0 +1,27 @@
+(** Tabular results: one structure per reproduced table/figure, printed
+    aligned to stdout and exportable as CSV. *)
+
+type t = {
+  id : string;  (** e.g. "fig12" *)
+  title : string;
+  header : string list;  (** column names; first column is the row label *)
+  rows : (string * float list) list;
+  notes : string list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  header:string list ->
+  ?notes:string list ->
+  (string * float list) list ->
+  t
+
+val with_mean : ?label:string -> t -> t
+(** Append an arithmetic-mean row over the data rows. *)
+
+val print : t -> unit
+
+val to_csv : t -> string
+
+val to_string : t -> string

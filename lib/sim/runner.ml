@@ -1,0 +1,174 @@
+open Whisper_trace
+open Whisper_bpu
+
+type technique =
+  | Baseline
+  | Ideal
+  | Mtage_sc
+  | Rombf of int
+  | Branchnet of Whisper_branchnet.Branchnet.budget
+  | Whisper of Whisper_core.Config.t
+
+let technique_name = function
+  | Baseline -> "tage-scl"
+  | Ideal -> "ideal"
+  | Mtage_sc -> "mtage-sc"
+  | Rombf n -> Printf.sprintf "%db-rombf" n
+  | Branchnet (Whisper_branchnet.Branchnet.Budget b) ->
+      Printf.sprintf "%dKB-branchnet" (b / 1024)
+  | Branchnet Whisper_branchnet.Branchnet.Unlimited -> "unlimited-branchnet"
+  | Whisper _ -> "whisper"
+
+(* A stable cache key for a technique's configuration. *)
+let technique_key = function
+  | Whisper c ->
+      Printf.sprintf "whisper/%d/%d/%d/%s/%f/%d/%d/%d" c.min_len c.max_len
+        c.n_lengths
+        (match c.ops with `Extended -> "ext" | `Classic -> "cls")
+        c.explore_frac c.hint_buffer_size c.max_hints c.seed
+  | t -> technique_name t
+
+type ctx = {
+  mutable ev : int;
+  base_kb : int;
+  cfgs : (string, Cfg.t) Hashtbl.t;
+  profiles : (string, Profile.t) Hashtbl.t;
+  results : (string, Whisper_pipeline.Machine.result) Hashtbl.t;
+}
+
+let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) () =
+  {
+    ev = events;
+    base_kb = baseline_kb;
+    cfgs = Hashtbl.create 32;
+    profiles = Hashtbl.create 64;
+    results = Hashtbl.create 256;
+  }
+
+let events ctx = ctx.ev
+let set_events ctx e = ctx.ev <- e
+let baseline_kb ctx = ctx.base_kb
+
+let cfg_of ctx (app : Workloads.config) =
+  match Hashtbl.find_opt ctx.cfgs app.name with
+  | Some cfg -> cfg
+  | None ->
+      let cfg = Workloads.build_cfg app in
+      Hashtbl.add ctx.cfgs app.name cfg;
+      cfg
+
+let source ctx app ~input =
+  let cfg = cfg_of ctx app in
+  App_model.source (App_model.create ~cfg ~config:app ~input ())
+
+let lbr_predictor kb () =
+  let p = Tage_scl.predictor (Sizes.for_budget ~kb) in
+  fun ~pc ~taken ->
+    let pred = p.Predictor.predict ~pc in
+    p.train ~pc ~taken;
+    pred = taken
+
+let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
+  let kb = Option.value baseline_kb ~default:ctx.base_kb in
+  let key =
+    Printf.sprintf "%s/%s/%d/%d" app.Workloads.name
+      (String.concat "," (List.map string_of_int inputs))
+      kb ctx.ev
+  in
+  match Hashtbl.find_opt ctx.profiles key with
+  | Some p -> p
+  | None ->
+      let one input =
+        Profile.collect ~lengths:Workloads.lengths ~events:ctx.ev
+          ~make_source:(fun () -> source ctx app ~input)
+          ~make_predictor:(lbr_predictor kb) ()
+      in
+      let p =
+        match inputs with
+        | [ input ] -> one input
+        | inputs -> Profile.merge (List.map one inputs)
+      in
+      Hashtbl.add ctx.profiles key p;
+      p
+
+let whisper_analysis ?(config = Whisper_core.Config.default)
+    ?(train_inputs = [ 0 ]) ctx app =
+  let p = profile ~inputs:train_inputs ctx app in
+  Whisper_core.Analyze.run ~config p
+
+let whisper_plan ?(config = Whisper_core.Config.default)
+    ?(train_inputs = [ 0 ]) ctx app =
+  let analysis = whisper_analysis ~config ~train_inputs ctx app in
+  let cfg = cfg_of ctx app in
+  Whisper_core.Inject.plan config cfg
+    ~source:(source ctx app ~input:(List.hd train_inputs))
+    ~hints:(Whisper_core.Analyze.to_inject_hints analysis cfg)
+
+(* Build the per-event exec closure for a technique. *)
+let make_exec ctx app technique ~train_inputs ~kb =
+  match technique with
+  | Baseline ->
+      let p = Tage_scl.predictor (Sizes.for_budget ~kb) in
+      fun (e : Branch.event) ->
+        let pred = p.Predictor.predict ~pc:e.pc in
+        p.train ~pc:e.pc ~taken:e.taken;
+        pred = e.taken
+  | Ideal -> fun (_ : Branch.event) -> true
+  | Mtage_sc ->
+      let p = Mtage.predictor () in
+      fun (e : Branch.event) ->
+        let pred = p.Predictor.predict ~pc:e.pc in
+        p.train ~pc:e.pc ~taken:e.taken;
+        pred = e.taken
+  | Rombf n ->
+      let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
+      let spec = Whisper_rombf.Rombf.train ~n prof in
+      let rt =
+        Whisper_rombf.Rombf.Runtime.create spec
+          ~baseline:(Tage_scl.predictor (Sizes.for_budget ~kb))
+      in
+      fun e -> Whisper_rombf.Rombf.Runtime.exec rt e
+  | Branchnet budget ->
+      let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
+      let spec = Whisper_branchnet.Branchnet.train ~budget prof in
+      let rt =
+        Whisper_branchnet.Branchnet.Runtime.create spec
+          ~baseline:(Tage_scl.predictor (Sizes.for_budget ~kb))
+      in
+      fun e -> Whisper_branchnet.Branchnet.Runtime.exec rt e
+  | Whisper config ->
+      let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
+      let analysis = Whisper_core.Analyze.run ~config prof in
+      let cfg = cfg_of ctx app in
+      let plan =
+        Whisper_core.Inject.plan config cfg
+          ~source:(source ctx app ~input:(List.hd train_inputs))
+          ~hints:(Whisper_core.Analyze.to_inject_hints analysis cfg)
+      in
+      let rt =
+        Whisper_core.Runtime.create config
+          ~baseline:(Tage_scl.predictor (Sizes.for_budget ~kb))
+          ~plan
+      in
+      fun e -> Whisper_core.Runtime.exec rt e
+
+let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
+    technique =
+  let kb = Option.value baseline_kb ~default:ctx.base_kb in
+  let key =
+    Printf.sprintf "%s/%s/%s/%d/%d/%d" app.Workloads.name
+      (technique_key technique)
+      (String.concat "," (List.map string_of_int train_inputs))
+      test_input kb ctx.ev
+  in
+  match Hashtbl.find_opt ctx.results key with
+  | Some r -> r
+  | None ->
+      let exec = make_exec ctx app technique ~train_inputs ~kb in
+      let r =
+        Whisper_pipeline.Machine.run ~events:ctx.ev
+          ~source:(source ctx app ~input:test_input)
+          ~predict:exec ()
+      in
+      Hashtbl.add ctx.results key r;
+      r

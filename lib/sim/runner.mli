@@ -1,0 +1,64 @@
+(** Unified execution of every prediction technique in the study over the
+    timing model, with in-process memoization of profiles, trained
+    artifacts and run results, so that figures sharing configurations
+    (e.g. Figs. 12 and 13) pay for each simulation once. *)
+
+type technique =
+  | Baseline  (** the TAGE-SC-L under test, alone *)
+  | Ideal
+  | Mtage_sc
+  | Rombf of int  (** 4 or 8 *)
+  | Branchnet of Whisper_branchnet.Branchnet.budget
+  | Whisper of Whisper_core.Config.t
+
+val technique_name : technique -> string
+
+type ctx
+(** Holds caches; create one per process/figure batch. *)
+
+val create_ctx : ?events:int -> ?baseline_kb:int -> unit -> ctx
+(** Defaults: 1.2 M branch events per simulation, 64 KB baseline. *)
+
+val events : ctx -> int
+val set_events : ctx -> int -> unit
+val baseline_kb : ctx -> int
+
+val cfg_of : ctx -> Whisper_trace.Workloads.config -> Whisper_trace.Cfg.t
+
+val profile :
+  ?inputs:int list ->
+  ?baseline_kb:int ->
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  Whisper_trace.Profile.t
+(** Memoized profile collection ([inputs] defaults to [[0]]; several
+    inputs are collected separately and merged, Fig. 18). *)
+
+val run :
+  ?train_inputs:int list ->
+  ?test_input:int ->
+  ?baseline_kb:int ->
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  technique ->
+  Whisper_pipeline.Machine.result
+(** Memoized end-to-end run: offline training from the train-input
+    profile(s) where the technique needs it, then a timed simulation on
+    the test input (default: train on input 0, test on input 1 — the
+    paper's cross-input methodology). *)
+
+val whisper_analysis :
+  ?config:Whisper_core.Config.t ->
+  ?train_inputs:int list ->
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  Whisper_core.Analyze.t
+(** The offline analysis by itself (for Figs. 6, 7, 15, 16, 19). *)
+
+val whisper_plan :
+  ?config:Whisper_core.Config.t ->
+  ?train_inputs:int list ->
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  Whisper_core.Inject.t
+(** Analysis + hint injection plan (for Fig. 19 overheads). *)

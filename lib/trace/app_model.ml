@@ -1,0 +1,163 @@
+open Whisper_util
+
+(* A session is a request-type-like unit of work: a fixed sequence of
+   (function, repeat-count) entries, flattened at build time into the block
+   visit order it produces.  Sessions make branch history locally
+   repetitive — the property online predictors exploit in real servers —
+   while the number of distinct sessions times their footprints sets the
+   branch working-set size that pressures predictor capacity. *)
+
+type t = {
+  cfg : Cfg.t;
+  rng : Rng.t;
+  ctx : Behavior.ctx;
+  behaviors : Behavior.t array;  (* input-adjusted copy *)
+  session_blocks : int array array;  (* block visit order per session type *)
+  cum_weights : float array;  (* cumulative Zipf weights over session types *)
+  total_weight : float;
+  mutable cur_session : int array;  (* block order being executed *)
+  mutable pos : int;
+  mutable count : int;
+}
+
+(* Build the session catalogue: which functions each request type touches,
+   with deterministic repeat counts.  Depends only on the config seed. *)
+let build_sessions ~(cfg : Cfg.t) ~(config : Workloads.config) =
+  let rng = Rng.create ((config.seed * 2_654_435) + 99) in
+  let n_fn = Array.length cfg.funcs in
+  (* function popularity for session composition *)
+  let ranks = Rng.permutation rng n_fn in
+  let weights =
+    Array.init n_fn (fun i ->
+        (1.0 /. (float_of_int (1 + ranks.(i)) ** config.func_zipf), i))
+  in
+  Array.init config.session_types (fun _ ->
+      let lo, hi = config.session_len in
+      let n = lo + Rng.int rng (hi - lo + 1) in
+      let blocks = ref [] in
+      for _ = 1 to n do
+        let fid = Rng.sample_weighted rng weights in
+        let rlo, rhi = config.repeats in
+        let reps = rlo + Rng.int rng (rhi - rlo + 1) in
+        let f = cfg.funcs.(fid) in
+        for _ = 1 to reps do
+          for b = f.first_block to f.first_block + f.n_blocks - 1 do
+            blocks := b :: !blocks
+          done
+        done
+      done;
+      Array.of_list (List.rev !blocks))
+
+(* Run-time popularity of session types, with an input-dependent
+   permutation: different inputs make different request types hot. *)
+let session_cum ~(config : Workloads.config) ~input =
+  let n = config.session_types in
+  let base_rng = Rng.create ((config.seed * 69_069) + 12345) in
+  let ranks = Rng.permutation base_rng n in
+  if input > 0 then begin
+    let irng = Rng.create ((config.seed * 31_337) + (input * 7919)) in
+    let swaps = input * (max 1 (n / 6)) in
+    for _ = 1 to swaps do
+      let i = Rng.int irng n and j = Rng.int irng n in
+      (* the hottest request types stay hot across inputs (an interpreter
+         loop is hot no matter the script); only the tail reshuffles *)
+      if ranks.(i) >= 2 && ranks.(j) >= 2 then begin
+        let tmp = ranks.(i) in
+        ranks.(i) <- ranks.(j);
+        ranks.(j) <- tmp
+      end
+    done
+  end;
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (1 + ranks.(i)) ** config.session_zipf));
+    cum.(i) <- !acc
+  done;
+  (cum, !acc)
+
+(* Input-dependent jitter on stochastic behaviour parameters: the static
+   program is shared, but data-dependent probabilities shift between
+   inputs (different queries, pages, seeds — paper §V-A). *)
+let adjust_behaviors ~(cfg : Cfg.t) ~(config : Workloads.config) ~input =
+  let jrng = Rng.create ((config.seed * 104_729) + (input * 31)) in
+  Array.map
+    (fun (b : Behavior.t) ->
+      match b.kind with
+      | Behavior.Bias p ->
+          let p' = p +. (Rng.float jrng 0.04 -. 0.02) in
+          { b with kind = Behavior.Bias (Float.min 0.998 (Float.max 0.002 p')) }
+      | Behavior.Random p ->
+          let p' = p +. (Rng.float jrng 0.16 -. 0.08) in
+          { b with kind = Behavior.Random (Float.min 0.95 (Float.max 0.05 p')) }
+      | _ -> b)
+    cfg.behaviors
+
+let sample_session t =
+  let target = Rng.float t.rng t.total_weight in
+  let lo = ref 0 and hi = ref (Array.length t.cum_weights - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum_weights.(mid) > target then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let create ?(lengths = Workloads.lengths) ?(chunk = 8) ~cfg ~config ~input () =
+  let rng = Rng.create ((config.Workloads.seed * 65_537) + (input * 257) + 1) in
+  let ctx =
+    Behavior.make_ctx ~lengths ~n_branches:(Cfg.n_branches cfg) ~chunk
+  in
+  let session_blocks = build_sessions ~cfg ~config in
+  let cum_weights, total_weight = session_cum ~config ~input in
+  let t =
+    {
+      cfg;
+      rng;
+      ctx;
+      behaviors = adjust_behaviors ~cfg ~config ~input;
+      session_blocks;
+      cum_weights;
+      total_weight;
+      cur_session = [||];
+      pos = 0;
+      count = 0;
+    }
+  in
+  t.cur_session <- t.session_blocks.(sample_session t);
+  t.pos <- 0;
+  t
+
+let next t =
+  let cur = t.cur_session.(t.pos) in
+  let blk = t.cfg.blocks.(cur) in
+  let taken = Behavior.eval t.ctx ~rng:t.rng ~branch:cur t.behaviors.(cur) in
+  Behavior.record t.ctx taken;
+  (* A taken loop-back branch re-executes its own block; otherwise the walk
+     advances through the session, switching sessions at the end. *)
+  let succ_block =
+    if taken && blk.loop_back then cur
+    else begin
+      if t.pos + 1 >= Array.length t.cur_session then begin
+        t.cur_session <- t.session_blocks.(sample_session t);
+        t.pos <- 0
+      end
+      else t.pos <- t.pos + 1;
+      t.cur_session.(t.pos)
+    end
+  in
+  let event =
+    {
+      Branch.block = cur;
+      pc = blk.branch_pc;
+      taken;
+      instrs = blk.instrs;
+      next_addr = t.cfg.blocks.(succ_block).addr;
+    }
+  in
+  t.count <- t.count + 1;
+  event
+
+let source t () = next t
+let ctx t = t.ctx
+let cfg t = t.cfg
+let events_generated t = t.count

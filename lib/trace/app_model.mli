@@ -1,0 +1,37 @@
+(** Executable application model: turns a static {!Cfg.t} plus a
+    {!Workloads.config} into an infinite, deterministic branch-event
+    stream.
+
+    The model walks functions selected by a Zipf popularity process with
+    temporal re-execution (hot loops), visiting each block of the invoked
+    function in order and resolving every block's branch with its
+    ground-truth behaviour against the shared global history.
+
+    The [input] parameter reproduces the paper's workload/input variation
+    (§V-A, Figs. 17–18): different inputs share the static program and the
+    branch behaviours but perturb function popularity and the parameters
+    of data-dependent branches, so a profile from one input transfers
+    imperfectly to another. *)
+
+type t
+
+val create :
+  ?lengths:int array ->
+  ?chunk:int ->
+  cfg:Cfg.t ->
+  config:Workloads.config ->
+  input:int ->
+  unit ->
+  t
+(** [lengths] defaults to {!Workloads.lengths}; [chunk] to 8. *)
+
+val source : t -> Branch.source
+(** The event stream.  Each call advances the model by one block. *)
+
+val ctx : t -> Behavior.ctx
+(** The live evaluation context (exposed for tests and for profilers that
+    want ground-truth hashes without recomputing them). *)
+
+val cfg : t -> Cfg.t
+
+val events_generated : t -> int

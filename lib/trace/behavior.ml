@@ -1,0 +1,113 @@
+open Whisper_util
+
+type kind =
+  | Always_taken
+  | Never_taken
+  | Bias of float
+  | Loop of { period : int }
+  | Short_formula of { len : int; table : int }
+  | Hashed_formula of { len_idx : int; formula_id : int }
+  | Parity of { len : int; step : int }
+  | Ctx_prf of { len : int; seed : int; p_taken : float }
+  | Random of float
+
+type t = { kind : kind; noise : float }
+
+let formula_leaves = 8
+
+type ctx = {
+  c_lengths : int array;
+  hist : History.t;
+  folded : History.Folded.t array;
+  loop_counters : int array;
+  (* Formula truth tables are shared across branches with the same id. *)
+  tables : (int, Bytes.t) Hashtbl.t;
+  chunk : int;
+}
+
+let make_ctx ~lengths ~n_branches ~chunk =
+  let max_len = Array.fold_left max 1 lengths in
+  {
+    c_lengths = Array.copy lengths;
+    hist = History.create ~depth:(max 64 (2 * max_len));
+    folded =
+      Array.map (fun len -> History.Folded.create ~len ~chunk) lengths;
+    loop_counters = Array.make (max 1 n_branches) 0;
+    tables = Hashtbl.create 64;
+    chunk;
+  }
+
+let lengths ctx = ctx.c_lengths
+let history ctx = ctx.hist
+let hash_at ctx len_idx = History.Folded.value ctx.folded.(len_idx)
+
+let table_of ctx formula_id =
+  match Hashtbl.find_opt ctx.tables formula_id with
+  | Some table -> table
+  | None ->
+      let tree = Whisper_formula.Tree.of_id ~leaves:formula_leaves formula_id in
+      let table = Whisper_formula.Tree.truth_table tree in
+      Hashtbl.add ctx.tables formula_id table;
+      table
+
+let eval_kind ctx ~rng ~branch = function
+  | Always_taken -> true
+  | Never_taken -> false
+  | Bias p -> Rng.bernoulli rng p
+  | Loop { period } ->
+      let c = ctx.loop_counters.(branch) in
+      ctx.loop_counters.(branch) <- (c + 1) mod period;
+      c < period - 1
+  | Short_formula { len; table } ->
+      let idx = History.raw_window ctx.hist len in
+      (table lsr idx) land 1 = 1
+  | Hashed_formula { len_idx; formula_id } ->
+      let h = hash_at ctx len_idx in
+      Whisper_formula.Tree.eval_tt (table_of ctx formula_id) h
+  | Parity { len; step } ->
+      let acc = ref 0 in
+      let j = ref 0 in
+      while !j < len do
+        acc := !acc lxor History.get ctx.hist !j;
+        j := !j + step
+      done;
+      !acc = 1
+  | Ctx_prf { len; seed; p_taken } ->
+      let w = History.raw_window ctx.hist len in
+      let z = (seed * 0x9E3779B1) lxor (w * 0x85EBCA77) in
+      let z = (z lxor (z lsr 31)) * 0xC2B2AE3D in
+      let z = (z lxor (z lsr 29)) land 0x3FFFFFFF in
+      float_of_int z /. 1073741824.0 < p_taken
+  | Random p -> Rng.bernoulli rng p
+
+let eval ctx ~rng ~branch t =
+  let base = eval_kind ctx ~rng ~branch t.kind in
+  if t.noise > 0.0 && Rng.bernoulli rng t.noise then not base else base
+
+let record ctx taken = History.push_all ctx.hist ctx.folded taken
+
+let kind_name = function
+  | Always_taken -> "always-taken"
+  | Never_taken -> "never-taken"
+  | Bias _ -> "bias"
+  | Loop _ -> "loop"
+  | Short_formula _ -> "short-formula"
+  | Hashed_formula _ -> "hashed-formula"
+  | Parity _ -> "parity"
+  | Ctx_prf _ -> "ctx-prf"
+  | Random _ -> "random"
+
+let pp fmt t =
+  match t.kind with
+  | Bias p -> Format.fprintf fmt "bias(%.2f)+n%.2f" p t.noise
+  | Loop { period } -> Format.fprintf fmt "loop(%d)+n%.2f" period t.noise
+  | Short_formula { len; table } ->
+      Format.fprintf fmt "short(len=%d,tbl=%x)+n%.2f" len table t.noise
+  | Hashed_formula { len_idx; formula_id } ->
+      Format.fprintf fmt "hashed(idx=%d,f=%d)+n%.2f" len_idx formula_id t.noise
+  | Parity { len; step } ->
+      Format.fprintf fmt "parity(len=%d,step=%d)+n%.2f" len step t.noise
+  | Ctx_prf { len; seed = _; p_taken } ->
+      Format.fprintf fmt "ctx-prf(len=%d,p=%.2f)+n%.2f" len p_taken t.noise
+  | Random p -> Format.fprintf fmt "random(%.2f)" p
+  | k -> Format.fprintf fmt "%s+n%.2f" (kind_name k) t.noise

@@ -1,0 +1,17 @@
+type event = {
+  block : int;
+  pc : int;
+  taken : bool;
+  instrs : int;
+  next_addr : int;
+}
+
+let pp fmt e =
+  Format.fprintf fmt "@[<h>{block=%d; pc=0x%x; %s; instrs=%d; next=0x%x}@]"
+    e.block e.pc
+    (if e.taken then "T" else "NT")
+    e.instrs e.next_addr
+
+type source = unit -> event
+
+let take src n = Array.init n (fun _ -> src ())

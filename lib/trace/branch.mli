@@ -1,0 +1,24 @@
+(** Dynamic branch events — the unit of every trace in the reproduction.
+
+    One event is the retirement of a basic block that ends in a conditional
+    branch: the block's instructions followed by the branch and its
+    resolved direction.  This is the information Intel PT provides the
+    paper's profiler (§IV step 1), plus the block geometry our simulator
+    substitutes for a real instruction stream. *)
+
+type event = {
+  block : int;  (** static basic-block id (index into the CFG) *)
+  pc : int;  (** address of the conditional branch ending the block *)
+  taken : bool;  (** resolved direction *)
+  instrs : int;  (** instructions in the block, including the branch *)
+  next_addr : int;  (** address fetched after this branch resolves *)
+}
+
+val pp : Format.formatter -> event -> unit
+
+type source = unit -> event
+(** An infinite stream of events.  All simulators and profilers consume
+    sources; workload models and trace decoders produce them. *)
+
+val take : source -> int -> event array
+(** [take src n] materializes the next [n] events (testing helper). *)

@@ -1,0 +1,100 @@
+type block = {
+  id : int;
+  func : int;
+  addr : int;
+  instrs : int;
+  branch_pc : int;
+  loop_back : bool;
+}
+
+type func = {
+  fid : int;
+  first_block : int;
+  n_blocks : int;
+  f_addr : int;
+  f_size : int;
+}
+
+type t = {
+  blocks : block array;
+  funcs : func array;
+  behaviors : Behavior.t array;
+  footprint : int;
+}
+
+let instr_bytes = 4
+
+let n_branches t = Array.length t.blocks
+
+let block_of_pc t pc =
+  (* Blocks are address-sorted; binary search on branch_pc. *)
+  let lo = ref 0 and hi = ref (Array.length t.blocks - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let b = t.blocks.(mid) in
+    if b.branch_pc = pc then begin
+      found := Some b;
+      lo := !hi + 1
+    end
+    else if b.branch_pc < pc then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let predecessors_in_func t b =
+  let blk = t.blocks.(b) in
+  let f = t.funcs.(blk.func) in
+  let rec go i acc =
+    if i < f.first_block then acc else go (i - 1) (i :: acc)
+  in
+  List.rev (go (b - 1) [])
+
+let behavior t b = t.behaviors.(b)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () =
+    check
+      (Array.length t.blocks = Array.length t.behaviors)
+      "behaviors not parallel to blocks"
+  in
+  let* () =
+    Array.to_seq t.blocks
+    |> Seq.fold_left
+         (fun acc b ->
+           let* () = acc in
+           let* () = check (b.instrs >= 1) "empty block" in
+           let* () =
+             check
+               (b.branch_pc = b.addr + ((b.instrs - 1) * instr_bytes))
+               "branch pc not at block end"
+           in
+           check (b.func >= 0 && b.func < Array.length t.funcs)
+             "dangling function id")
+         (Ok ())
+  in
+  let* () =
+    Array.to_seq t.funcs
+    |> Seq.fold_left
+         (fun acc f ->
+           let* () = acc in
+           let* () = check (f.n_blocks >= 1) "empty function" in
+           let first = t.blocks.(f.first_block) in
+           let last = t.blocks.(f.first_block + f.n_blocks - 1) in
+           let* () = check (first.func = f.fid) "first block cross-ref" in
+           let* () = check (last.func = f.fid) "last block cross-ref" in
+           check
+             (f.f_size = last.addr + (last.instrs * instr_bytes) - f.f_addr)
+             "function size mismatch")
+         (Ok ())
+  in
+  let* () =
+    let sorted = ref true in
+    for i = 1 to Array.length t.blocks - 1 do
+      if t.blocks.(i).addr <= t.blocks.(i - 1).addr then sorted := false
+    done;
+    check !sorted "blocks not address-sorted"
+  in
+  Ok ()

@@ -1,0 +1,60 @@
+(** Synthetic static program structure.
+
+    An application is an array of functions; each function is a contiguous
+    run of basic blocks; each block ends in one static conditional branch.
+    Addresses are in bytes with fixed 4-byte instructions, so the code
+    footprint and I-cache behaviour follow directly from the geometry.
+
+    Block execution within a function is linear (the trace visits every
+    block of the invoked function in order); what a branch's direction
+    decides is carried entirely by its outcome history, which is what all
+    the predictors under study consume.  Hint injection (paper §IV) uses
+    the block-level predecessor structure this module exposes. *)
+
+type block = {
+  id : int;  (** global block id *)
+  func : int;  (** owning function id *)
+  addr : int;  (** byte address of the first instruction *)
+  instrs : int;  (** instruction count, including the final branch *)
+  branch_pc : int;  (** byte address of the final conditional branch *)
+  loop_back : bool;
+      (** do-while loop block: a taken branch re-executes this block, a
+          not-taken branch falls through — so loop iterations are
+          back-to-back in the trace, as in real code *)
+}
+
+type func = {
+  fid : int;
+  first_block : int;  (** global id of the function's first block *)
+  n_blocks : int;
+  f_addr : int;
+  f_size : int;  (** bytes *)
+}
+
+type t = {
+  blocks : block array;
+  funcs : func array;
+  behaviors : Behavior.t array;  (** parallel to [blocks] *)
+  footprint : int;  (** total code bytes *)
+}
+
+val instr_bytes : int
+(** Fixed instruction width (4). *)
+
+val n_branches : t -> int
+(** One static branch per block. *)
+
+val block_of_pc : t -> int -> block option
+(** Reverse lookup from branch PC (used by trace decoding and tests). *)
+
+val predecessors_in_func : t -> int -> int list
+(** [predecessors_in_func t b] are the ids of blocks of the same function
+    that execute before block [b] in function order — the candidate hint
+    injection sites for [b]'s branch, nearest first. *)
+
+val behavior : t -> int -> Behavior.t
+(** Behaviour of the branch ending the given block. *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: contiguous addresses, block/function cross
+    references, PCs within blocks.  Used by property tests. *)

@@ -1,0 +1,112 @@
+(** In-production execution profiles (paper §IV, steps 1–2).
+
+    A profile combines what Intel PT and LBR give the paper's offline
+    analysis: per-static-branch execution / direction / baseline-predictor
+    misprediction counts, plus, for the {e candidate} branches (those with
+    enough mispredictions to be worth optimizing), a bounded set of
+    execution samples.  Each sample captures the branch's raw 8-bit recent
+    history, the 8-bit folded hash at every candidate history length, the
+    resolved direction, and whether the baseline predictor was correct —
+    everything Algorithm 1, ROMBF training and the BranchNet baseline
+    consume. *)
+
+type branch_stat = {
+  mutable execs : int;
+  mutable taken_cnt : int;
+  mutable mispred : int;
+}
+
+type t
+
+val lengths : t -> int array
+(** The history-length series the hashes were collected at. *)
+
+val n_lengths : t -> int
+
+val total_instrs : t -> int
+val total_branches : t -> int
+val total_mispred : t -> int
+
+val stat : t -> pc:int -> branch_stat option
+val iter_stats : t -> f:(pc:int -> branch_stat -> unit) -> unit
+val n_static_branches : t -> int
+
+val mpki : t -> float
+(** Baseline mispredictions per kilo-instruction over the profiled run. *)
+
+val candidates : t -> int array
+(** PCs that carry samples, sorted by decreasing misprediction count. *)
+
+val n_samples : t -> pc:int -> int
+
+val iter_samples :
+  t ->
+  pc:int ->
+  f:
+    (raw8:int ->
+    raw56:int ->
+    hash:(int -> int) ->
+    taken:bool ->
+    correct:bool ->
+    unit) ->
+  unit
+(** [raw8]/[raw56] are the last 8 / 56 raw outcomes (newest in bit 0);
+    [hash len_idx] reads the folded hash recorded for that series index.
+    The callback must not retain [hash] beyond the call. *)
+
+(** {1 Collection} *)
+
+val collect :
+  ?max_candidates:int ->
+  ?min_mispred:int ->
+  ?max_samples:int ->
+  ?chunk:int ->
+  lengths:int array ->
+  events:int ->
+  make_source:(unit -> Branch.source) ->
+  make_predictor:(unit -> pc:int -> taken:bool -> bool) ->
+  unit ->
+  t
+(** Two-pass collection over [events] branch events.  [make_source] and
+    [make_predictor] must return {e fresh} deterministic instances on each
+    call (the second pass replays the same trace against a fresh baseline
+    predictor, standing in for a second production profiling window).
+    The predictor closure returns whether its prediction was correct — the
+    information LBR exposes.
+
+    Defaults: [max_candidates] 2048, [min_mispred] 8, [max_samples] 512
+    per branch, [chunk] 8. *)
+
+(** {1 Merging (paper Fig. 18)} *)
+
+val merge : t list -> t
+(** Pool stats and samples of profiles collected from different inputs.
+    All profiles must share the same length series.
+    @raise Invalid_argument on an empty list or mismatched series. *)
+
+(** {1 Direct construction (tests, synthetic profiles)} *)
+
+val create_empty : ?chunk:int -> lengths:int array -> unit -> t
+
+val record_event :
+  t -> pc:int -> taken:bool -> correct:bool -> instrs:int -> unit
+(** Account one dynamic branch into the aggregate statistics. *)
+
+val restore_stat :
+  t -> pc:int -> execs:int -> taken_cnt:int -> mispred:int -> unit
+(** Set a branch's aggregate counters directly (deserialization). *)
+
+val set_totals : t -> instrs:int -> branches:int -> mispred:int -> unit
+(** Set the run-level totals directly (deserialization). *)
+
+val add_sample :
+  ?raw56:int ->
+  t ->
+  pc:int ->
+  raw8:int ->
+  hashes:int array ->
+  taken:bool ->
+  correct:bool ->
+  unit
+(** Append a sample for [pc]; [hashes] must have [n_lengths t] entries in
+    \[0, 255\]. *)

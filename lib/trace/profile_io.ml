@@ -1,0 +1,77 @@
+open Whisper_util
+
+let format_version = 1
+let tag = "WPRF"
+
+let to_bytes (p : Profile.t) =
+  let w = Binio.Writer.create ~capacity:(1 lsl 16) () in
+  Binio.Writer.magic w tag;
+  Binio.Writer.varint w format_version;
+  let lengths = Profile.lengths p in
+  Binio.Writer.varint w (Array.length lengths);
+  Array.iter (Binio.Writer.varint w) lengths;
+  Binio.Writer.varint w (Profile.total_instrs p);
+  Binio.Writer.varint w (Profile.total_branches p);
+  Binio.Writer.varint w (Profile.total_mispred p);
+  (* per-branch statistics *)
+  Binio.Writer.varint w (Profile.n_static_branches p);
+  Profile.iter_stats p ~f:(fun ~pc s ->
+      Binio.Writer.varint w pc;
+      Binio.Writer.varint w s.Profile.execs;
+      Binio.Writer.varint w s.Profile.taken_cnt;
+      Binio.Writer.varint w s.Profile.mispred);
+  (* candidate samples *)
+  let cands = Profile.candidates p in
+  Binio.Writer.varint w (Array.length cands);
+  Array.iter
+    (fun pc ->
+      Binio.Writer.varint w pc;
+      Binio.Writer.varint w (Profile.n_samples p ~pc);
+      Profile.iter_samples p ~pc ~f:(fun ~raw8 ~raw56 ~hash ~taken ~correct ->
+          Binio.Writer.byte w raw8;
+          Binio.Writer.varint w raw56;
+          Array.iteri (fun i _ -> Binio.Writer.byte w (hash i)) lengths;
+          Binio.Writer.byte w
+            ((if taken then 1 else 0) lor if correct then 2 else 0)))
+    cands;
+  Binio.Writer.contents w
+
+let of_bytes data =
+  let r = Binio.Reader.create data in
+  Binio.Reader.magic r tag;
+  let v = Binio.Reader.varint r in
+  if v <> format_version then
+    failwith (Printf.sprintf "Profile_io: unsupported version %d" v);
+  let n_lengths = Binio.Reader.varint r in
+  let lengths = Array.init n_lengths (fun _ -> Binio.Reader.varint r) in
+  let total_instrs = Binio.Reader.varint r in
+  let total_branches = Binio.Reader.varint r in
+  let total_mispred = Binio.Reader.varint r in
+  let p = Profile.create_empty ~lengths () in
+  Profile.set_totals p ~instrs:total_instrs ~branches:total_branches
+    ~mispred:total_mispred;
+  let n_stats = Binio.Reader.varint r in
+  for _ = 1 to n_stats do
+    let pc = Binio.Reader.varint r in
+    let execs = Binio.Reader.varint r in
+    let taken_cnt = Binio.Reader.varint r in
+    let mispred = Binio.Reader.varint r in
+    Profile.restore_stat p ~pc ~execs ~taken_cnt ~mispred
+  done;
+  let n_cands = Binio.Reader.varint r in
+  for _ = 1 to n_cands do
+    let pc = Binio.Reader.varint r in
+    let n = Binio.Reader.varint r in
+    for _ = 1 to n do
+      let raw8 = Binio.Reader.byte r in
+      let raw56 = Binio.Reader.varint r in
+      let hashes = Array.init n_lengths (fun _ -> Binio.Reader.byte r) in
+      let flags = Binio.Reader.byte r in
+      Profile.add_sample ~raw56 p ~pc ~raw8 ~hashes ~taken:(flags land 1 = 1)
+        ~correct:(flags land 2 = 2)
+    done
+  done;
+  p
+
+let save p ~path = Binio.to_file path (to_bytes p)
+let load ~path = of_bytes (Binio.of_file path)

@@ -1,0 +1,12 @@
+(** Binary persistence for profiles — the artifact a production fleet
+    ships from its profiling hosts to the offline analysis machines
+    (paper Fig. 10, the arrow between steps 1 and 2). *)
+
+val to_bytes : Profile.t -> bytes
+val of_bytes : bytes -> Profile.t
+(** @raise Failure on corrupt or mismatched input. *)
+
+val save : Profile.t -> path:string -> unit
+val load : path:string -> Profile.t
+
+val format_version : int

@@ -1,0 +1,211 @@
+let tag_end = 0x00
+let tag_tnt = 0x01
+let tag_tip = 0x02
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let ensure t n =
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = max (2 * Bytes.length t.buf) (t.len + n) in
+      let nb = Bytes.create cap in
+      Bytes.blit t.buf 0 nb 0 t.len;
+      t.buf <- nb
+    end
+
+  let byte t b =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (b land 0xFF));
+    t.len <- t.len + 1
+
+  let varint t v =
+    if v < 0 then invalid_arg "Pt_codec.varint";
+    let rec go v =
+      if v < 0x80 then byte t v
+      else begin
+        byte t (0x80 lor (v land 0x7F));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let contents t = Bytes.sub t.buf 0 t.len
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let create buf = { buf; pos = 0 }
+
+  let byte t =
+    if t.pos >= Bytes.length t.buf then failwith "Pt_codec: truncated stream";
+    let b = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    b
+
+  let varint t =
+    let rec go shift acc =
+      let b = byte t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+end
+
+let is_last_in_func (cfg : Cfg.t) block =
+  let b = cfg.blocks.(block) in
+  let f = cfg.funcs.(b.func) in
+  block = f.first_block + f.n_blocks - 1
+
+let flush_tnt w bits =
+  match bits with
+  | [] -> ()
+  | bits ->
+      let bits = List.rev bits in
+      let count = List.length bits in
+      if count > 255 then invalid_arg "Pt_codec: TNT overflow";
+      Writer.byte w tag_tnt;
+      Writer.byte w count;
+      let cur = ref 0 and nbits = ref 0 in
+      List.iter
+        (fun b ->
+          if b then cur := !cur lor (1 lsl !nbits);
+          incr nbits;
+          if !nbits = 8 then begin
+            Writer.byte w !cur;
+            cur := 0;
+            nbits := 0
+          end)
+        bits;
+      if !nbits > 0 then Writer.byte w !cur
+
+let encode ~cfg events =
+  let w = Writer.create () in
+  let n = Array.length events in
+  if n > 0 then begin
+    Writer.byte w tag_tip;
+    Writer.varint w events.(0).Branch.block;
+    let pending = ref [] in
+    let pending_n = ref 0 in
+    for i = 0 to n - 1 do
+      let e = events.(i) in
+      (* Validate the walk: each event must continue from the previous. *)
+      if i > 0 then begin
+        let prev = events.(i - 1) in
+        let pb = cfg.Cfg.blocks.(prev.Branch.block) in
+        let self_loop = prev.Branch.taken && pb.loop_back in
+        let expected_ok =
+          if self_loop then e.Branch.block = prev.Branch.block
+          else
+            is_last_in_func cfg prev.Branch.block
+            || e.Branch.block = prev.Branch.block + 1
+        in
+        if not expected_ok then
+          invalid_arg "Pt_codec.encode: invalid fall-through walk"
+      end;
+      pending := e.Branch.taken :: !pending;
+      incr pending_n;
+      let blk = cfg.Cfg.blocks.(e.Branch.block) in
+      let self_loop = e.Branch.taken && blk.loop_back in
+      let needs_tip = (not self_loop) && is_last_in_func cfg e.Branch.block in
+      if needs_tip || !pending_n = 255 then begin
+        flush_tnt w !pending;
+        pending := [];
+        pending_n := 0;
+        if needs_tip then
+          if i < n - 1 then begin
+            Writer.byte w tag_tip;
+            Writer.varint w events.(i + 1).Branch.block
+          end
+          else begin
+            (* Stream ends at a function boundary: record the successor so
+               the final event's next_addr survives the round trip. *)
+            Writer.byte w tag_tip;
+            let succ =
+              (* find the block whose addr matches next_addr *)
+              let rec bsearch lo hi =
+                if lo > hi then
+                  invalid_arg "Pt_codec.encode: dangling next_addr"
+                else
+                  let mid = (lo + hi) / 2 in
+                  let b = cfg.Cfg.blocks.(mid) in
+                  if b.addr = e.Branch.next_addr then mid
+                  else if b.addr < e.Branch.next_addr then bsearch (mid + 1) hi
+                  else bsearch lo (mid - 1)
+              in
+              bsearch 0 (Array.length cfg.Cfg.blocks - 1)
+            in
+            Writer.varint w succ
+          end
+      end
+    done;
+    flush_tnt w !pending
+  end;
+  Writer.byte w tag_end;
+  Writer.contents w
+
+let decode ~cfg buf =
+  let r = Reader.create buf in
+  let out = ref [] in
+  let cur = ref (-1) in
+  let emit taken succ =
+    let b = cfg.Cfg.blocks.(!cur) in
+    out :=
+      {
+        Branch.block = !cur;
+        pc = b.branch_pc;
+        taken;
+        instrs = b.instrs;
+        next_addr = cfg.Cfg.blocks.(succ).addr;
+      }
+      :: !out;
+    cur := succ
+  in
+  let rec loop pending =
+    (* [pending] holds a taken-bit waiting for a TIP to resolve its
+       successor (the branch ended a function). *)
+    let tag = Reader.byte r in
+    if tag = tag_end then begin
+      match pending with
+      | Some _ -> failwith "Pt_codec: dangling function-end branch"
+      | None -> ()
+    end
+    else if tag = tag_tip then begin
+      let target = Reader.varint r in
+      if target < 0 || target >= Array.length cfg.Cfg.blocks then
+        failwith "Pt_codec: TIP out of range";
+      (match pending with
+      | Some taken -> emit taken target
+      | None -> cur := target);
+      loop None
+    end
+    else if tag = tag_tnt then begin
+      if pending <> None then failwith "Pt_codec: TNT while TIP expected";
+      let count = Reader.byte r in
+      let bytes_needed = (count + 7) / 8 in
+      let bitmap = Array.init bytes_needed (fun _ -> Reader.byte r) in
+      let carried = ref None in
+      for i = 0 to count - 1 do
+        if !carried <> None then failwith "Pt_codec: TNT crosses function end";
+        let taken = (bitmap.(i / 8) lsr (i mod 8)) land 1 = 1 in
+        let blk = cfg.Cfg.blocks.(!cur) in
+        if taken && blk.Cfg.loop_back then emit taken !cur
+        else if is_last_in_func cfg !cur then
+          (* successor comes from the next TIP packet *)
+          carried := Some taken
+        else emit taken (!cur + 1)
+      done;
+      loop !carried
+    end
+    else failwith "Pt_codec: unknown packet tag"
+  in
+  loop None;
+  Array.of_list (List.rev !out)
+
+let compression_ratio ~cfg events =
+  if Array.length events = 0 then 0.0
+  else
+    float_of_int (Bytes.length (encode ~cfg events))
+    /. float_of_int (Array.length events)

@@ -1,0 +1,28 @@
+(** Compact binary branch-trace codec, modelled on Intel PT's packet
+    stream (paper §IV, step 1).
+
+    Like PT, the encoder emits 1 bit per conditional branch (grouped into
+    TNT packets) and a target packet (TIP) only where control flow is not
+    statically determined — in our model, at function switches.  The
+    decoder reconstructs the full event stream by walking the {!Cfg.t},
+    exactly as the paper's offline analysis reconstructs control flow from
+    PT packets plus the binary.
+
+    Packet grammar:
+    - [0x01 count bitmap…] — TNT: [count] branch outcomes (1 = taken),
+      oldest outcome in bit 0 of the first bitmap byte;
+    - [0x02 varint] — TIP: global block id executed next;
+    - [0x00] — END. *)
+
+val encode : cfg:Cfg.t -> Branch.event array -> bytes
+(** Serialize a finite event run.  The events must form a valid walk of
+    [cfg] (consecutive blocks within a function, TIP-able switches at
+    function ends); events produced by {!App_model} always do.
+    @raise Invalid_argument on an inconsistent walk. *)
+
+val decode : cfg:Cfg.t -> bytes -> Branch.event array
+(** Inverse of {!encode}.  @raise Failure on a corrupt stream. *)
+
+val compression_ratio : cfg:Cfg.t -> Branch.event array -> float
+(** Encoded bytes per branch event (PT achieves ≈ 1 bit/branch; ours is
+    within a small constant of that). *)

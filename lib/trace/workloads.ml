@@ -1,0 +1,336 @@
+open Whisper_util
+
+type mix = {
+  always : float;
+  never : float;
+  bias : float;
+  loop : float;
+  short_f : float;
+  ctx : float;
+  hashed : float;
+  parity : float;
+  random : float;
+}
+
+type family = Datacenter | Spec
+
+type config = {
+  name : string;
+  seed : int;
+  family : family;
+  functions : int;
+  blocks_per_fn : int * int;
+  instrs_per_block : int * int;
+  session_types : int;
+  session_len : int * int;
+  repeats : int * int;
+  func_zipf : float;
+  session_zipf : float;
+  mix : mix;
+  noise : float;
+  hashed_len_weights : float array;
+  bias_range : float * float;
+  random_range : float * float;
+  loop_range : int * int;
+  parity_len : int * int;
+}
+
+let lengths = Geometric.default
+
+(* Length-weight shapes over the 16-term series (8 .. 1024); these drive the
+   paper's Fig. 6 distribution of correlation lengths. *)
+let w_mid =
+  [| 0.6; 0.8; 1.0; 1.2; 1.4; 1.8; 2.2; 2.4; 2.4; 2.2; 1.8; 1.4; 1.0; 0.7; 0.4; 0.2 |]
+
+let w_long =
+  [| 0.3; 0.4; 0.5; 0.6; 0.8; 1.0; 1.2; 1.6; 1.9; 2.2; 2.4; 2.4; 2.2; 1.8; 1.2; 0.8 |]
+
+let w_short =
+  [| 1.6; 1.8; 2.2; 2.4; 2.2; 1.8; 1.4; 1.0; 0.7; 0.5; 0.3; 0.2; 0.1; 0.1; 0.1; 0.1 |]
+
+(* Execution-weighted realism: the overwhelming majority of dynamic branch
+   executions must be easy (cf. TAGE's ~98% accuracy on these apps); the
+   hard tail is split between capacity-sensitive short-window behaviours,
+   Whisper-targeted hashed long-history behaviours, formula-inexpressible
+   parity, and genuinely data-dependent randomness. *)
+let default_mix =
+  {
+    always = 0.34;
+    never = 0.12;
+    bias = 0.09;
+    loop = 0.04;
+    short_f = 0.04;
+    ctx = 0.065;
+    hashed = 0.12;
+    parity = 0.015;
+    random = 0.012;
+  }
+
+let dc ?(functions = 2200) ?(blocks = (6, 18)) ?(instrs = (4, 12))
+    ?(session_types = 240) ?(session_len = (5, 14)) ?(repeats = (2, 6))
+    ?(func_zipf = 0.45) ?(session_zipf = 0.75) ?(mix = default_mix)
+    ?(noise = 0.004) ?(lw = w_mid) ?(bias_range = (0.975, 0.999))
+    ?(random_range = (0.25, 0.75)) ?(loop_range = (2, 24))
+    ?(parity_len = (8, 28)) name seed =
+  {
+    name;
+    seed;
+    family = Datacenter;
+    functions;
+    blocks_per_fn = blocks;
+    instrs_per_block = instrs;
+    session_types;
+    session_len;
+    repeats;
+    func_zipf;
+    session_zipf;
+    mix;
+    noise;
+    hashed_len_weights = lw;
+    bias_range;
+    random_range;
+    loop_range;
+    parity_len;
+  }
+
+let tweak m ~hashed ~random ~parity ~short_f =
+  { m with hashed; random; parity; short_f }
+
+let datacenter =
+  [|
+    (* cassandra: mid-size JVM service, moderate MPKI. *)
+    dc "cassandra" 101 ~functions:990
+      ~mix:(tweak default_mix ~hashed:0.0313 ~random:0.0024 ~parity:0.0066 ~short_f:0.114)
+      ~noise:0.00180 ~session_zipf:0.90;
+    (* clang: huge code footprint, high MPKI, long correlations. *)
+    dc "clang" 102 ~functions:1683 ~blocks:(8, 20) ~session_types:320
+      ~mix:(tweak default_mix ~hashed:0.0418 ~random:0.0048 ~parity:0.0110 ~short_f:0.134)
+      ~noise:0.00288 ~session_zipf:0.60 ~lw:w_long;
+    (* drupal: PHP workload, dispersed branches. *)
+    dc "drupal" 103 ~functions:1287 ~session_types:280
+      ~mix:(tweak default_mix ~hashed:0.0365 ~random:0.0034 ~parity:0.0088 ~short_f:0.127)
+      ~noise:0.00252 ~session_zipf:0.70;
+    (* finagle-chirper: RPC microservice, low MPKI. *)
+    dc "finagle-chirper" 104 ~bias_range:(0.985, 0.9995) ~functions:693 ~session_types:120
+      ~mix:(tweak default_mix ~hashed:0.0209 ~random:0.0010 ~parity:0.0044 ~short_f:0.087)
+      ~noise:0.00108 ~session_zipf:1.15 ~lw:w_short;
+    (* finagle-http: lowest MPKI of the suite. *)
+    dc "finagle-http" 105 ~bias_range:(0.99, 0.9995) ~functions:594 ~session_types:80
+      ~mix:(tweak default_mix ~hashed:0.0130 ~random:0.0004 ~parity:0.0022 ~short_f:0.067)
+      ~noise:0.00054 ~session_zipf:1.35 ~lw:w_short;
+    (* kafka: log-structured broker. *)
+    dc "kafka" 106 ~functions:891 ~session_types:200
+      ~mix:(tweak default_mix ~hashed:0.0287 ~random:0.0019 ~parity:0.0055 ~short_f:0.107)
+      ~noise:0.00162 ~session_zipf:0.95;
+    (* mediawiki: concentrated hot branches (BranchNet-friendly). *)
+    dc "mediawiki" 107 ~functions:1188 ~session_types:180 ~session_zipf:1.50
+      ~mix:{ (tweak default_mix ~hashed:0.0339 ~random:0.0026 ~parity:0.0180 ~short_f:0.114) with ctx = 0.115 }
+      ~noise:0.00252;
+    (* mysql: highest MPKI of the suite; flat, huge working set. *)
+    dc "mysql" 108 ~functions:1485 ~blocks:(8, 22) ~session_types:360
+      ~mix:(tweak default_mix ~hashed:0.0470 ~random:0.0067 ~parity:0.0121 ~short_f:0.141)
+      ~noise:0.00360 ~session_zipf:0.45 ~lw:w_long;
+    (* postgres: moderate, long correlations. *)
+    dc "postgres" 109 ~functions:1188 ~session_types:280
+      ~mix:(tweak default_mix ~hashed:0.0339 ~random:0.0029 ~parity:0.0077 ~short_f:0.121)
+      ~noise:0.00216 ~session_zipf:0.70 ~lw:w_long;
+    (* python: interpreter loop, concentrated + hard (BranchNet-friendly). *)
+    dc "python" 110 ~functions:990 ~session_types:140 ~session_zipf:1.55
+      ~mix:{ (tweak default_mix ~hashed:0.0391 ~random:0.0030 ~parity:0.0250 ~short_f:0.121) with ctx = 0.13 }
+      ~noise:0.00324;
+    (* tomcat: servlet container. *)
+    dc "tomcat" 111 ~bias_range:(0.982, 0.999) ~functions:940 ~session_types:220
+      ~mix:(tweak default_mix ~hashed:0.0261 ~random:0.0017 ~parity:0.0050 ~short_f:0.101)
+      ~noise:0.00144 ~session_zipf:1.00;
+    (* wordpress: concentrated hot branches (BranchNet-friendly). *)
+    dc "wordpress" 112 ~functions:1287 ~session_types:200 ~session_zipf:1.45
+      ~mix:{ (tweak default_mix ~hashed:0.0365 ~random:0.0028 ~parity:0.0170 ~short_f:0.114) with ctx = 0.11 }
+      ~noise:0.00270;
+  |]
+
+(* SPEC-like benchmarks: small code footprints, mispredictions concentrated
+   on a handful of hard (data-dependent / parity) branches in hot loops. *)
+let spec_mix =
+  {
+    always = 0.30;
+    never = 0.08;
+    bias = 0.15;
+    loop = 0.08;
+    short_f = 0.06;
+    ctx = 0.10;
+    hashed = 0.03;
+    parity = 0.012;
+    random = 0.012;
+  }
+
+let sp ?(functions = 80) ?(blocks = (6, 14)) ?(session_types = 10)
+    ?(mix = spec_mix) ?(noise = 0.0025) ?(session_zipf = 1.2)
+    ?(func_zipf = 0.9) ?(random_range = (0.25, 0.75)) name seed =
+  {
+    name;
+    seed;
+    family = Spec;
+    functions;
+    blocks_per_fn = blocks;
+    instrs_per_block = (4, 12);
+    session_types;
+    session_len = (3, 8);
+    repeats = (1, 6);
+    func_zipf;
+    session_zipf;
+    mix;
+    noise;
+    hashed_len_weights = w_short;
+    bias_range = (0.975, 0.999);
+    random_range;
+    loop_range = (3, 24);
+    parity_len = (8, 28);
+  }
+
+let spec =
+  [|
+    sp "deepsjeng" 201 ~functions:36 ~mix:{ spec_mix with random = 0.020 };
+    sp "exchange2" 202 ~functions:36 ~mix:{ spec_mix with random = 0.006 };
+    (* gcc is the SPEC outlier with a big footprint (paper Fig. 5a). *)
+    sp "gcc" 203 ~functions:445 ~session_types:240 ~session_zipf:0.65
+      ~mix:{ spec_mix with hashed = 0.08; random = 0.014 };
+    sp "leela" 204 ~functions:36 ~mix:{ spec_mix with random = 0.035 };
+    sp "mcf" 205 ~functions:36 ~mix:{ spec_mix with random = 0.040 };
+    sp "omnetpp" 206 ~functions:54 ~mix:{ spec_mix with random = 0.026 };
+    sp "perlbench" 207 ~functions:78 ~session_types:100
+      ~mix:{ spec_mix with hashed = 0.05 };
+    sp "x264" 208 ~functions:43 ~mix:{ spec_mix with random = 0.012 };
+    sp "xalancbmk" 209 ~functions:99 ~session_types:120
+      ~mix:{ spec_mix with hashed = 0.05; random = 0.016 };
+    sp "xz" 210 ~functions:36 ~mix:{ spec_mix with random = 0.030 };
+  |]
+
+let all = Array.append datacenter spec
+
+let by_name name = Array.find_opt (fun c -> c.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* Static program generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_range rng (lo, hi) =
+  if hi < lo then invalid_arg "Workloads.sample_range";
+  lo + Rng.int rng (hi - lo + 1)
+
+let sample_behavior rng cfg : Behavior.t =
+  let m = cfg.mix in
+  let kind =
+    Rng.sample_weighted rng
+      [|
+        (m.always, `Always);
+        (m.never, `Never);
+        (m.bias, `Bias);
+        (m.loop, `Loop);
+        (m.short_f, `Short);
+        (m.ctx, `Ctx);
+        (m.hashed, `Hashed);
+        (m.parity, `Parity);
+        (m.random, `Random);
+      |]
+  in
+  let kind : Behavior.kind =
+    match kind with
+    | `Always -> Always_taken
+    | `Never -> Never_taken
+    | `Bias ->
+        let lo, hi = cfg.bias_range in
+        let p = lo +. Rng.float rng (hi -. lo) in
+        (* Half the biased branches lean not-taken. *)
+        Bias (if Rng.bool rng then p else 1.0 -. p)
+    | `Loop ->
+        (* mostly tight short loops, with a geometric tail of longer ones
+           (the loop predictor's province) *)
+        let lo, hi = cfg.loop_range in
+        let period = lo + Rng.geometric rng 0.30 in
+        Loop { period = min hi (max 2 period) }
+    | `Short ->
+        let len = 2 + Rng.int rng 5 in
+        let bits = min 62 (1 lsl len) in
+        let table = Rng.bits rng bits in
+        let table =
+          if table = 0 || table = Bitops.mask bits then Rng.bits rng bits
+          else table
+        in
+        Short_formula { len; table }
+    | `Ctx ->
+        let len = 9 + Rng.int rng 8 in
+        let seed = Rng.bits rng 30 in
+        (* context-conditional bias: most contexts lean one way *)
+        let p = 0.62 +. Rng.float rng 0.33 in
+        let p = if Rng.bool rng then p else 1.0 -. p in
+        Ctx_prf { len; seed; p_taken = p }
+    | `Hashed ->
+        let weights = Array.mapi (fun i w -> (w, i)) cfg.hashed_len_weights in
+        let len_idx = Rng.sample_weighted rng weights in
+        let formula_id =
+          Rng.int rng
+            (Whisper_formula.Tree.space_size ~leaves:Behavior.formula_leaves)
+        in
+        Hashed_formula { len_idx; formula_id }
+    | `Parity ->
+        let len = sample_range rng cfg.parity_len in
+        let step = 1 + Rng.int rng 3 in
+        Parity { len; step }
+    | `Random ->
+        let lo, hi = cfg.random_range in
+        Random (lo +. Rng.float rng (hi -. lo))
+  in
+  let noise =
+    match kind with
+    | Random _ -> 0.0
+    (* noisy loop exits would defeat every predictor including the paper's
+       loop component; keep loop perturbation rare *)
+    | Loop _ -> cfg.noise *. 0.25
+    | _ -> cfg.noise *. (0.5 +. Rng.float rng 1.0)
+  in
+  { kind; noise }
+
+let build_cfg cfg =
+  let rng = Rng.create (cfg.seed * 1_000_003) in
+  let blocks = ref [] in
+  let funcs = ref [] in
+  let behaviors = ref [] in
+  let addr = ref 0x40_0000 in
+  let block_id = ref 0 in
+  for fid = 0 to cfg.functions - 1 do
+    let n_blocks = sample_range rng cfg.blocks_per_fn in
+    let first_block = !block_id in
+    let f_addr = !addr in
+    for _ = 1 to n_blocks do
+      let instrs = sample_range rng cfg.instrs_per_block in
+      let b_addr = !addr in
+      let behavior = sample_behavior rng cfg in
+      let loop_back =
+        match behavior.Behavior.kind with Behavior.Loop _ -> true | _ -> false
+      in
+      let block : Cfg.block =
+        {
+          id = !block_id;
+          func = fid;
+          addr = b_addr;
+          instrs;
+          branch_pc = b_addr + ((instrs - 1) * Cfg.instr_bytes);
+          loop_back;
+        }
+      in
+      blocks := block :: !blocks;
+      behaviors := behavior :: !behaviors;
+      addr := b_addr + (instrs * Cfg.instr_bytes);
+      incr block_id
+    done;
+    let f : Cfg.func =
+      { fid; first_block; n_blocks; f_addr; f_size = !addr - f_addr }
+    in
+    funcs := f :: !funcs
+  done;
+  {
+    Cfg.blocks = Array.of_list (List.rev !blocks);
+    funcs = Array.of_list (List.rev !funcs);
+    behaviors = Array.of_list (List.rev !behaviors);
+    footprint = !addr - 0x40_0000;
+  }

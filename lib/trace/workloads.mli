@@ -1,0 +1,79 @@
+(** Workload catalogue: the 12 data-center applications of the paper's
+    Table I plus 10 SPEC2017-like integer benchmarks (used in Fig. 5's
+    contrast between concentrated and dispersed mispredictions).
+
+    Each configuration fixes a synthetic application's static shape
+    (function/block geometry → code footprint and branch working-set
+    size), its {e session} structure (request-type-like sequences of
+    function invocations with deterministic repeat counts — this is what
+    makes branch history locally repetitive, as in real servers), and its
+    dynamic behaviour mix (which fraction of branches is biased, loopy,
+    short-history, long-hashed-history, parity-like, or data-dependent).
+
+    Parameters were calibrated so the baseline 64 KB TAGE-SC-L reproduces
+    the paper's qualitative characterization (branch-MPKI range,
+    capacity-dominated misses, dispersed misprediction CDF; see
+    EXPERIMENTS.md). *)
+
+type mix = {
+  always : float;
+  never : float;
+  bias : float;
+  loop : float;
+  short_f : float;
+  ctx : float;
+      (** context-conditional (PRF over the recent raw window) branches —
+          the capacity-class population profile-guided formulas cannot fix *)
+  hashed : float;
+  parity : float;
+  random : float;
+}
+(** Per-branch behaviour sampling weights; need not sum to 1 (normalized). *)
+
+type family = Datacenter | Spec
+
+type config = {
+  name : string;
+  seed : int;
+  family : family;
+  functions : int;
+  blocks_per_fn : int * int;  (** inclusive range *)
+  instrs_per_block : int * int;  (** inclusive range *)
+  session_types : int;
+      (** number of distinct request types (function sequences) *)
+  session_len : int * int;  (** functions per session *)
+  repeats : int * int;
+      (** deterministic per-entry invocation repeat count (hot loops) *)
+  func_zipf : float;
+      (** function-popularity skew used when composing sessions *)
+  session_zipf : float;
+      (** run-time popularity skew over session types; lower = flatter =
+          larger live working set *)
+  mix : mix;
+  noise : float;  (** base outcome-flip probability for modelled branches *)
+  hashed_len_weights : float array;
+      (** 16 weights over the geometric length series for hashed-formula
+          branches — shapes the paper's Fig. 6 distribution *)
+  bias_range : float * float;  (** taken-probability range for [Bias] *)
+  random_range : float * float;  (** probability range for [Random] *)
+  loop_range : int * int;  (** loop period range *)
+  parity_len : int * int;  (** parity window range *)
+}
+
+val datacenter : config array
+(** The 12 applications of Table I, in the paper's plot order. *)
+
+val spec : config array
+(** 10 SPEC2017-int-like benchmarks for Fig. 5a. *)
+
+val all : config array
+
+val by_name : string -> config option
+
+val build_cfg : config -> Cfg.t
+(** Deterministically generate the static program for a configuration
+    (depends only on [config.seed] and the shape parameters). *)
+
+val lengths : int array
+(** The geometric history-length series shared by the whole study
+    (8, 11, …, 1024). *)

@@ -1,0 +1,117 @@
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create ?(capacity = 4096) () = { buf = Bytes.create (max 16 capacity); len = 0 }
+
+  let ensure t n =
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = max (2 * Bytes.length t.buf) (t.len + n) in
+      let nb = Bytes.create cap in
+      Bytes.blit t.buf 0 nb 0 t.len;
+      t.buf <- nb
+    end
+
+  let byte t b =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (b land 0xFF));
+    t.len <- t.len + 1
+
+  let varint t v =
+    if v < 0 then invalid_arg "Binio.varint: negative";
+    let rec go v =
+      if v < 0x80 then byte t v
+      else begin
+        byte t (0x80 lor (v land 0x7F));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let zigzag t v = varint t ((v lsl 1) lxor (v asr 62))
+
+  let bytes t b =
+    varint t (Bytes.length b);
+    ensure t (Bytes.length b);
+    Bytes.blit b 0 t.buf t.len (Bytes.length b);
+    t.len <- t.len + Bytes.length b
+
+  let string t s = bytes t (Bytes.of_string s)
+
+  let float64 t f =
+    let v = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      byte t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+  let magic t s = String.iter (fun c -> byte t (Char.code c)) s
+
+  let contents t = Bytes.sub t.buf 0 t.len
+  let length t = t.len
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable p : int }
+
+  let create buf = { buf; p = 0 }
+
+  let byte t =
+    if t.p >= Bytes.length t.buf then failwith "Binio: truncated input";
+    let b = Char.code (Bytes.get t.buf t.p) in
+    t.p <- t.p + 1;
+    b
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then failwith "Binio: varint overflow";
+      let b = byte t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let zigzag t =
+    let v = varint t in
+    (v lsr 1) lxor (-(v land 1))
+
+  let bytes t =
+    let n = varint t in
+    if t.p + n > Bytes.length t.buf then failwith "Binio: truncated bytes";
+    let b = Bytes.sub t.buf t.p n in
+    t.p <- t.p + n;
+    b
+
+  let string t = Bytes.to_string (bytes t)
+
+  let float64 t =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte t)) (8 * i))
+    done;
+    Int64.float_of_bits !v
+
+  let magic t s =
+    String.iter
+      (fun c ->
+        if byte t <> Char.code c then
+          failwith (Printf.sprintf "Binio: bad magic, expected %S" s))
+      s
+
+  let eof t = t.p >= Bytes.length t.buf
+  let pos t = t.p
+end
+
+let to_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc data)
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)

@@ -1,0 +1,47 @@
+(** Minimal binary serialization helpers (growable writer / bounds-checked
+    reader with LEB128 varints), shared by the PT-like trace codec and the
+    profile / hint-plan file formats. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; argument must be non-negative. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed varint (zigzag encoding). *)
+
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed byte string. *)
+
+  val string : t -> string -> unit
+  val float64 : t -> float -> unit
+  val magic : t -> string -> unit
+  (** Raw, unprefixed tag bytes. *)
+
+  val contents : t -> bytes
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  val create : bytes -> t
+  val byte : t -> int
+  val varint : t -> int
+  val zigzag : t -> int
+  val bytes : t -> bytes
+  val string : t -> string
+  val float64 : t -> float
+
+  val magic : t -> string -> unit
+  (** Consume and verify tag bytes.  @raise Failure on mismatch. *)
+
+  val eof : t -> bool
+  val pos : t -> int
+end
+
+val to_file : string -> bytes -> unit
+val of_file : string -> bytes

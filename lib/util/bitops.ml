@@ -1,0 +1,52 @@
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let parity x = popcount x land 1
+
+let mask n =
+  if n < 0 || n > 62 then invalid_arg "Bitops.mask";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let get_bit x i = (x lsr i) land 1
+
+let set_bit x i = x lor (1 lsl i)
+
+let fold_gen op x ~width ~chunk =
+  if chunk <= 0 || chunk > 62 then invalid_arg "Bitops.fold";
+  let m = mask chunk in
+  let rec go x acc remaining =
+    if remaining <= 0 then acc
+    else go (x lsr chunk) (op acc (x land m)) (remaining - chunk)
+  in
+  go x 0 width land m
+
+let fold_xor = fold_gen ( lxor )
+
+(* AND-folding must start from all-ones, not zero, or the result is always
+   zero; we special-case the accumulator seed. *)
+let fold_and x ~width ~chunk =
+  if chunk <= 0 || chunk > 62 then invalid_arg "Bitops.fold";
+  let m = mask chunk in
+  let rec go x acc remaining =
+    if remaining <= 0 then acc
+    else go (x lsr chunk) (acc land x land m) (remaining - chunk)
+  in
+  go x m width land m
+
+let fold_or = fold_gen ( lor )
+
+let reverse_bits x ~width =
+  let rec go x acc i =
+    if i >= width then acc else go (x lsr 1) ((acc lsl 1) lor (x land 1)) (i + 1)
+  in
+  go x 0 0
+
+let log2_ceil n =
+  if n < 1 then invalid_arg "Bitops.log2_ceil";
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let to_bit_list x ~width = List.init width (fun i -> get_bit x i)

@@ -1,0 +1,39 @@
+(** Bit-level helpers shared by history hashing, folded-history computation
+    and formula encodings. *)
+
+val popcount : int -> int
+(** Number of set bits in the (non-negative) argument. *)
+
+val parity : int -> int
+(** [parity x] is [popcount x land 1]. *)
+
+val mask : int -> int
+(** [mask n] is an [n]-bit all-ones mask, [0 <= n <= 62]. *)
+
+val get_bit : int -> int -> int
+(** [get_bit x i] is bit [i] of [x] (0 or 1). *)
+
+val set_bit : int -> int -> int
+(** [set_bit x i] sets bit [i]. *)
+
+val fold_xor : int -> width:int -> chunk:int -> int
+(** [fold_xor x ~width ~chunk] XOR-folds the low [width] bits of [x] into
+    [chunk]-bit pieces (the paper's history-hashing primitive, §III-A). *)
+
+val fold_and : int -> width:int -> chunk:int -> int
+(** Like {!fold_xor} but combining chunks with logical AND. *)
+
+val fold_or : int -> width:int -> chunk:int -> int
+(** Like {!fold_xor} but combining chunks with logical OR. *)
+
+val reverse_bits : int -> width:int -> int
+(** [reverse_bits x ~width] reverses the low [width] bits of [x]. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the smallest [k] with [2^k >= n]; [n >= 1]. *)
+
+val is_power_of_two : int -> bool
+(** Whether the positive argument is a power of two. *)
+
+val to_bit_list : int -> width:int -> int list
+(** Low-to-high list of the low [width] bits. *)

@@ -1,0 +1,40 @@
+let series ~a ~n ~m =
+  if a <= 0 || n < a then invalid_arg "Geometric.series";
+  if m < 2 then invalid_arg "Geometric.series";
+  if n - a + 1 < m then invalid_arg "Geometric.series: range too small for m";
+  let fa = float_of_int a and fn = float_of_int n in
+  let r = (fn /. fa) ** (1.0 /. float_of_int (m - 1)) in
+  let out =
+    Array.init m (fun i ->
+        int_of_float (Float.round (fa *. (r ** float_of_int i))))
+  in
+  out.(0) <- a;
+  out.(m - 1) <- n;
+  (* Forward pass enforces strict increase, backward pass re-clamps under n;
+     [n - a + 1 >= m] guarantees both passes terminate within [a, n]. *)
+  for i = 1 to m - 1 do
+    if out.(i) <= out.(i - 1) then out.(i) <- out.(i - 1) + 1
+  done;
+  out.(m - 1) <- n;
+  for i = m - 2 downto 0 do
+    if out.(i) >= out.(i + 1) then out.(i) <- out.(i + 1) - 1
+  done;
+  out
+
+let default = series ~a:8 ~n:1024 ~m:16
+
+let index_of_length s len =
+  let rec go i =
+    if i >= Array.length s then None
+    else if s.(i) = len then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let bucket s len =
+  let rec go i =
+    if i >= Array.length s - 1 then Array.length s - 1
+    else if s.(i) >= len then i
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,22 @@
+(** Geometric series of history lengths (paper §III-A).
+
+    Whisper evaluates candidate history lengths drawn from a geometric
+    series [a, ar, ar^2, ..., ar^(m-1)] with ratio [r = (n/a)^(1/(m-1))].
+    With the paper's defaults (a = 8, n = 1024, m = 16) the series is
+    8, 11, 15, 21, ..., 1024. *)
+
+val series : a:int -> n:int -> m:int -> int array
+(** [series ~a ~n ~m] computes the [m]-term series from minimum length [a]
+    to maximum length [n].  Terms are rounded to the nearest integer, are
+    strictly increasing (ties are bumped up by one), start at [a] and end
+    at [n].  @raise Invalid_argument unless [0 < a <= n] and [m >= 2]. *)
+
+val default : int array
+(** The paper's series: [series ~a:8 ~n:1024 ~m:16]. *)
+
+val index_of_length : int array -> int -> int option
+(** [index_of_length s len] is the index of [len] in [s], if present. *)
+
+val bucket : int array -> int -> int
+(** [bucket s len] is the index of the smallest series term [>= len]
+    (clamped to the last index), used to histogram correlation lengths. *)

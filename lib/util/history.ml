@@ -1,0 +1,81 @@
+type t = {
+  buf : Bytes.t;
+  cap : int;
+  mutable head : int; (* index of the most recent outcome *)
+  mutable pushed : int;
+}
+
+let create ~depth =
+  if depth <= 0 then invalid_arg "History.create";
+  { buf = Bytes.make depth '\000'; cap = depth; head = 0; pushed = 0 }
+
+let depth t = t.cap
+
+let push t taken =
+  t.head <- (t.head + 1) mod t.cap;
+  Bytes.unsafe_set t.buf t.head (if taken then '\001' else '\000');
+  t.pushed <- t.pushed + 1
+
+let get t i =
+  if i < 0 then invalid_arg "History.get";
+  if i >= t.cap then 0
+  else
+    let idx = t.head - i in
+    let idx = if idx < 0 then idx + t.cap else idx in
+    Char.code (Bytes.unsafe_get t.buf idx)
+
+let length_pushed t = t.pushed
+
+let raw_window t n =
+  if n < 0 || n > 62 then invalid_arg "History.raw_window";
+  let rec go i acc = if i >= n then acc else go (i + 1) (acc lor (get t i lsl i)) in
+  go 0 0
+
+let hash_window t ~len ~chunk =
+  if chunk <= 0 || chunk > 62 then invalid_arg "History.hash_window";
+  let acc = ref 0 in
+  for j = 0 to len - 1 do
+    acc := !acc lxor (get t j lsl (j mod chunk))
+  done;
+  !acc
+
+module Folded = struct
+  type h = t
+
+  type t = {
+    f_len : int;
+    f_chunk : int;
+    f_mask : int;
+    out_pos : int; (* len mod chunk: position where the outgoing bit lands *)
+    mutable value : int;
+  }
+
+  let create ~len ~chunk =
+    if len <= 0 || chunk <= 0 || chunk > 62 then invalid_arg "Folded.create";
+    {
+      f_len = len;
+      f_chunk = chunk;
+      f_mask = Bitops.mask chunk;
+      out_pos = len mod chunk;
+      value = 0;
+    }
+
+  let len t = t.f_len
+  let chunk t = t.f_chunk
+  let value t = t.value
+
+  let update t ~(history : h) ~newest =
+    (* Every live bit ages by one (circular left rotate), the new bit enters
+       at position 0, and the bit of age len-1 leaves via position
+       len mod chunk. *)
+    let rot =
+      ((t.value lsl 1) lor (t.value lsr (t.f_chunk - 1))) land t.f_mask
+    in
+    let incoming = if newest then 1 else 0 in
+    let outgoing = get history (t.f_len - 1) in
+    t.value <- rot lxor incoming lxor (outgoing lsl t.out_pos)
+end
+
+let push_all t regs taken =
+  Array.iter (fun r -> Folded.update r ~history:t ~newest:taken) regs;
+  push t taken

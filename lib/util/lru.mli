@@ -1,0 +1,33 @@
+(** A bounded LRU map with O(1) access and update.
+
+    Used by the misprediction classifier (capacity vs. conflict analysis)
+    and by the run-time hint buffer.  Keys are ints (PCs, substream ids). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty LRU holding at most [capacity]
+    bindings.  @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+(** [find t k] returns the binding and promotes [k] to most-recently-used. *)
+
+val peek : 'a t -> int -> 'a option
+(** Like {!find} but without promoting. *)
+
+val mem : 'a t -> int -> bool
+(** Membership test, without promoting. *)
+
+val add : 'a t -> int -> 'a -> int option
+(** [add t k v] inserts or updates [k], promoting it to MRU.  Returns the
+    evicted key, if the insertion displaced one. *)
+
+val remove : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+
+val fold : ('b -> int -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** Fold over bindings from most- to least-recently used. *)

@@ -1,0 +1,61 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean") xs;
+    exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int n)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let m = mean xs in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int n
+    in
+    sqrt var
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let pct part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let speedup_pct ~baseline ~improved =
+  if improved = 0.0 then 0.0 else 100.0 *. ((baseline /. improved) -. 1.0)
+
+let reduction_pct ~baseline ~improved =
+  if baseline = 0.0 then 0.0 else 100.0 *. (baseline -. improved) /. baseline
+
+let cdf_points xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    List.init n (fun i ->
+        (sorted.(i), float_of_int (i + 1) /. float_of_int n))
+  end

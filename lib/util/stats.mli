@@ -1,0 +1,33 @@
+(** Small statistics helpers used by the experiment harness and reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** Minimum and maximum.  @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in \[0,100\], linear interpolation on a
+    sorted copy.  @raise Invalid_argument on empty input. *)
+
+val pct : float -> float -> float
+(** [pct part whole] is [100 * part / whole], 0 when [whole = 0]. *)
+
+val speedup_pct : baseline:float -> improved:float -> float
+(** [speedup_pct ~baseline ~improved] where both are cycle counts:
+    percentage speedup of the improved configuration over the baseline,
+    i.e. [100 * (baseline / improved - 1)]. *)
+
+val reduction_pct : baseline:float -> improved:float -> float
+(** [reduction_pct ~baseline ~improved] where both are event counts:
+    percentage of baseline events eliminated. *)
+
+val cdf_points : float array -> (float * float) list
+(** Empirical CDF of the input as (value, cumulative-fraction) pairs on a
+    sorted copy. *)

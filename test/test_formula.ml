@@ -1,0 +1,222 @@
+(* Tests for whisper_formula: node operations and read-once formula trees,
+   including the 15-bit encoding of the brhint formula field. *)
+
+open Whisper_formula
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Op                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_op_truth_tables () =
+  let cases =
+    [
+      (Op.And, [ (false, false, false); (false, true, false); (true, false, false); (true, true, true) ]);
+      (Op.Or, [ (false, false, false); (false, true, true); (true, false, true); (true, true, true) ]);
+      (Op.Imp, [ (false, false, true); (false, true, true); (true, false, false); (true, true, true) ]);
+      (Op.Cnimp, [ (false, false, false); (false, true, true); (true, false, false); (true, true, false) ]);
+    ]
+  in
+  List.iter
+    (fun (op, rows) ->
+      List.iter
+        (fun (a, b, expect) ->
+          check_bool
+            (Printf.sprintf "%s %b %b" (Op.name op) a b)
+            expect (Op.eval op a b))
+        rows)
+    cases
+
+let test_op_code_roundtrip () =
+  Array.iter
+    (fun op -> check_bool "roundtrip" true (Op.of_code (Op.to_code op) = op))
+    Op.all;
+  Alcotest.check_raises "bad code" (Invalid_argument "Op.of_code") (fun () ->
+      ignore (Op.of_code 4))
+
+let test_op_families () =
+  check_int "four ops" 4 (Array.length Op.all);
+  check_int "two classic ops" 2 (Array.length Op.classic)
+
+(* ------------------------------------------------------------------ *)
+(* Tree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_make_invalid () =
+  Alcotest.check_raises "3 leaves"
+    (Invalid_argument "Tree.make: leaves must be a power of two >= 2")
+    (fun () -> ignore (Tree.make ~ops:[| Op.And; Op.Or |] ~inverted:false))
+
+let test_tree_eval_two_leaves () =
+  Array.iter
+    (fun op ->
+      let t = Tree.make ~ops:[| op |] ~inverted:false in
+      for bits = 0 to 3 do
+        let a = bits land 1 = 1 and b = bits land 2 = 2 in
+        check_bool
+          (Printf.sprintf "%s on %d" (Op.name op) bits)
+          (Op.eval op a b) (Tree.eval t bits)
+      done;
+      let ti = Tree.make ~ops:[| op |] ~inverted:true in
+      for bits = 0 to 3 do
+        let a = bits land 1 = 1 and b = bits land 2 = 2 in
+        check_bool "inverted" (not (Op.eval op a b)) (Tree.eval ti bits)
+      done)
+    Op.all
+
+let test_tree_eval_known_eight () =
+  (* All-And tree over 8 leaves = conjunction of all bits. *)
+  let t = Tree.all_ops Op.And ~leaves:8 in
+  check_bool "all ones" true (Tree.eval t 0xFF);
+  check_bool "missing one" false (Tree.eval t 0xFE);
+  check_bool "zero" false (Tree.eval t 0);
+  let o = Tree.all_ops Op.Or ~leaves:8 in
+  check_bool "any one" true (Tree.eval o 0x10);
+  check_bool "zero" false (Tree.eval o 0)
+
+let test_tree_structure_accessors () =
+  let t = Tree.all_ops Op.And ~leaves:8 in
+  check_int "leaves" 8 (Tree.leaves t);
+  check_int "ops" 7 (Array.length (Tree.ops t));
+  check_bool "not inverted" false (Tree.inverted t)
+
+let test_tree_space_sizes () =
+  check_int "8-leaf id bits (paper: 15-bit formula)" 15 (Tree.id_bits ~leaves:8);
+  check_int "8-leaf space" 32768 (Tree.space_size ~leaves:8);
+  check_int "4-leaf id bits" 7 (Tree.id_bits ~leaves:4);
+  check_int "4-leaf space" 128 (Tree.space_size ~leaves:4);
+  check_int "classic 8 (N-1 bits)" 128 (Tree.classic_space_size ~leaves:8);
+  check_int "classic 4 (N-1 bits)" 8 (Tree.classic_space_size ~leaves:4)
+
+let test_tree_id_roundtrip_exhaustive_4 () =
+  for id = 0 to Tree.space_size ~leaves:4 - 1 do
+    check_int "id roundtrip" id (Tree.to_id (Tree.of_id ~leaves:4 id))
+  done
+
+let qcheck_tree_id_roundtrip_8 =
+  QCheck.Test.make ~name:"8-leaf id roundtrip" ~count:1000
+    QCheck.(int_bound 32767)
+    (fun id -> Tree.to_id (Tree.of_id ~leaves:8 id) = id)
+
+let test_tree_id_out_of_range () =
+  Alcotest.check_raises "too big" (Invalid_argument "Tree.of_id") (fun () ->
+      ignore (Tree.of_id ~leaves:8 32768))
+
+let test_tree_classic_roundtrip () =
+  for id = 0 to Tree.classic_space_size ~leaves:8 - 1 do
+    let t = Tree.of_classic_id ~leaves:8 id in
+    check_bool "is classic" true (Tree.is_classic t);
+    check_int "roundtrip" id (Tree.to_classic_id t)
+  done
+
+let test_tree_classic_rejects_extended () =
+  let t = Tree.all_ops Op.Imp ~leaves:4 in
+  check_bool "imp not classic" false (Tree.is_classic t);
+  Alcotest.check_raises "to_classic_id" (Invalid_argument "Tree.to_classic_id")
+    (fun () -> ignore (Tree.to_classic_id t));
+  let inv = Tree.make ~ops:(Array.make 3 Op.And) ~inverted:true in
+  check_bool "inverted not classic" false (Tree.is_classic inv)
+
+let qcheck_truth_table_matches_eval =
+  QCheck.Test.make ~name:"truth table agrees with eval" ~count:200
+    QCheck.(int_bound 32767)
+    (fun id ->
+      let t = Tree.of_id ~leaves:8 id in
+      let table = Tree.truth_table t in
+      let ok = ref true in
+      for bits = 0 to 255 do
+        if Tree.eval_tt table bits <> Tree.eval t bits then ok := false
+      done;
+      !ok)
+
+let test_gate_delay () =
+  check_int "2 leaves" 9 (Tree.gate_delay ~leaves:2);
+  check_int "4 leaves" 14 (Tree.gate_delay ~leaves:4);
+  check_int "8 leaves (paper: 19 gates)" 19 (Tree.gate_delay ~leaves:8)
+
+let test_tree_random_in_space () =
+  let rng = Whisper_util.Rng.create 5 in
+  for _ = 1 to 200 do
+    let t = Tree.random rng ~leaves:8 in
+    let id = Tree.to_id t in
+    check_bool "id in range" true (id >= 0 && id < 32768)
+  done
+
+let test_tree_pp () =
+  let t = Tree.make ~ops:[| Op.And |] ~inverted:true in
+  Alcotest.(check string) "renders" "~(b0 and b1)" (Tree.to_string t);
+  let t8 = Tree.all_ops Op.Or ~leaves:4 in
+  Alcotest.(check string) "renders 4" "((b0 or b1) or (b2 or b3))"
+    (Tree.to_string t8)
+
+let test_tree_equal () =
+  let a = Tree.of_id ~leaves:8 123 and b = Tree.of_id ~leaves:8 123 in
+  check_bool "equal" true (Tree.equal a b);
+  check_bool "not equal" false (Tree.equal a (Tree.of_id ~leaves:8 124))
+
+(* The extension claim of §III-C: some extended formulas cannot be
+   expressed by any classic ROMBF over the same inputs. *)
+let test_extended_strictly_more_expressive () =
+  let target = Tree.all_ops Op.Cnimp ~leaves:2 in
+  let target_tt = Tree.truth_table target in
+  let found = ref false in
+  for id = 0 to Tree.classic_space_size ~leaves:2 - 1 do
+    let c = Tree.of_classic_id ~leaves:2 id in
+    if Tree.truth_table c = target_tt then found := true
+  done;
+  check_bool "cnimp not expressible classically" false !found
+
+(* Read-once trees cannot express XOR (the basis for our parity
+   behaviours landing in the paper's "Others" slice). *)
+let test_no_tree_expresses_xor () =
+  let found = ref false in
+  for id = 0 to Tree.space_size ~leaves:2 - 1 do
+    let t = Tree.of_id ~leaves:2 id in
+    let is_xor =
+      Tree.eval t 0 = false
+      && Tree.eval t 1 = true
+      && Tree.eval t 2 = true
+      && Tree.eval t 3 = false
+    in
+    if is_xor then found := true
+  done;
+  check_bool "xor inexpressible" false !found
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "whisper_formula"
+    [
+      ( "op",
+        Alcotest.
+          [
+            test_case "truth tables" `Quick test_op_truth_tables;
+            test_case "code roundtrip" `Quick test_op_code_roundtrip;
+            test_case "families" `Quick test_op_families;
+          ] );
+      ( "tree",
+        Alcotest.
+          [
+            test_case "make invalid" `Quick test_tree_make_invalid;
+            test_case "eval 2 leaves" `Quick test_tree_eval_two_leaves;
+            test_case "eval known 8" `Quick test_tree_eval_known_eight;
+            test_case "accessors" `Quick test_tree_structure_accessors;
+            test_case "space sizes" `Quick test_tree_space_sizes;
+            test_case "id roundtrip (4, exhaustive)" `Quick
+              test_tree_id_roundtrip_exhaustive_4;
+            test_case "id out of range" `Quick test_tree_id_out_of_range;
+            test_case "classic roundtrip" `Quick test_tree_classic_roundtrip;
+            test_case "classic rejects extended" `Quick
+              test_tree_classic_rejects_extended;
+            test_case "gate delay" `Quick test_gate_delay;
+            test_case "random in space" `Quick test_tree_random_in_space;
+            test_case "pp" `Quick test_tree_pp;
+            test_case "equal" `Quick test_tree_equal;
+            test_case "extended more expressive" `Quick
+              test_extended_strictly_more_expressive;
+            test_case "xor inexpressible" `Quick test_no_tree_expresses_xor;
+          ]
+        @ qsuite [ qcheck_tree_id_roundtrip_8; qcheck_truth_table_matches_eval ] );
+    ]

@@ -1,0 +1,161 @@
+(* Cross-library integration tests: the full profile → analyze → inject →
+   simulate pipeline, serialization in the loop, and runtime fallback
+   behaviour. *)
+
+open Whisper_trace
+open Whisper_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let app () = Option.get (Workloads.by_name "finagle-http")
+let events = 80_000
+
+let tage () = Whisper_bpu.Tage_scl.predictor Whisper_bpu.Sizes.standard
+
+let collect_profile config cfg =
+  Profile.collect ~min_mispred:4 ~lengths:Workloads.lengths ~events
+    ~make_source:(fun () ->
+      App_model.source (App_model.create ~cfg ~config ~input:0 ()))
+    ~make_predictor:(fun () ->
+      let p = tage () in
+      fun ~pc ~taken ->
+        let pred = p.Whisper_bpu.Predictor.predict ~pc in
+        p.train ~pc ~taken;
+        pred = taken)
+    ()
+
+(* The full pipeline, with both artifacts round-tripped through their
+   binary formats in the middle — as a real deployment would ship them. *)
+let test_pipeline_with_serialization () =
+  let config = app () in
+  let cfg = Workloads.build_cfg config in
+  let profile = collect_profile config cfg in
+  let profile = Profile_io.of_bytes (Profile_io.to_bytes profile) in
+  let analysis = Analyze.run profile in
+  check_bool "hints found" true (Analyze.hint_count analysis > 0);
+  let plan =
+    Inject.plan Config.default cfg
+      ~source:(App_model.source (App_model.create ~cfg ~config ~input:0 ()))
+      ~hints:(Analyze.to_inject_hints analysis cfg)
+  in
+  let plan = Plan_io.of_bytes (Plan_io.to_bytes plan) in
+  let rt = Runtime.create Config.default ~baseline:(tage ()) ~plan in
+  let src = App_model.source (App_model.create ~cfg ~config ~input:1 ()) in
+  let w_mis = ref 0 in
+  for _ = 1 to events do
+    if not (Runtime.exec rt (src ())) then incr w_mis
+  done;
+  let base = tage () in
+  let src = App_model.source (App_model.create ~cfg ~config ~input:1 ()) in
+  let b_mis = ref 0 in
+  for _ = 1 to events do
+    let e = src () in
+    let pred = base.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
+    base.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
+    if pred <> e.Branch.taken then incr b_mis
+  done;
+  check_bool "hints were exercised" true (Runtime.hinted_predictions rt > 0);
+  (* cross-input, so we only require no catastrophic regression *)
+  check_bool "whisper within 10% of baseline or better" true
+    (float_of_int !w_mis < 1.10 *. float_of_int !b_mis)
+
+(* With an empty plan, the Whisper runtime must behave exactly like the
+   baseline predictor alone. *)
+let test_runtime_empty_plan_is_baseline () =
+  let config = app () in
+  let cfg = Workloads.build_cfg config in
+  let empty_plan =
+    { Inject.placements = []; by_host = Hashtbl.create 1; dropped = 0 }
+  in
+  let rt = Runtime.create Config.default ~baseline:(tage ()) ~plan:empty_plan in
+  let src = App_model.source (App_model.create ~cfg ~config ~input:0 ()) in
+  let rt_mis = ref 0 in
+  for _ = 1 to 20_000 do
+    if not (Runtime.exec rt (src ())) then incr rt_mis
+  done;
+  let base = tage () in
+  let src = App_model.source (App_model.create ~cfg ~config ~input:0 ()) in
+  let b_mis = ref 0 in
+  for _ = 1 to 20_000 do
+    let e = src () in
+    let pred = base.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
+    base.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
+    if pred <> e.Branch.taken then incr b_mis
+  done;
+  check_int "identical misprediction counts" !b_mis !rt_mis;
+  check_int "no hinted predictions" 0 (Runtime.hinted_predictions rt)
+
+(* Determinism of the whole pipeline: two identical end-to-end executions
+   produce identical hint sets and identical misprediction counts. *)
+let test_pipeline_deterministic () =
+  let run_once () =
+    let config = app () in
+    let cfg = Workloads.build_cfg config in
+    let profile = collect_profile config cfg in
+    let analysis = Analyze.run profile in
+    let plan =
+      Inject.plan Config.default cfg
+        ~source:(App_model.source (App_model.create ~cfg ~config ~input:0 ()))
+        ~hints:(Analyze.to_inject_hints analysis cfg)
+    in
+    let rt = Runtime.create Config.default ~baseline:(tage ()) ~plan in
+    let src = App_model.source (App_model.create ~cfg ~config ~input:1 ()) in
+    let mis = ref 0 in
+    for _ = 1 to 30_000 do
+      if not (Runtime.exec rt (src ())) then incr mis
+    done;
+    (Analyze.hint_count analysis, !mis)
+  in
+  let h1, m1 = run_once () in
+  let h2, m2 = run_once () in
+  check_int "same hints" h1 h2;
+  check_int "same mispredictions" m1 m2
+
+(* PT-decoded traces drive the profiler identically to the live stream. *)
+let test_profile_from_decoded_trace () =
+  let config = app () in
+  let cfg = Workloads.build_cfg config in
+  let n = 30_000 in
+  let live = Branch.take
+      (App_model.source (App_model.create ~cfg ~config ~input:0 ())) n in
+  let decoded = Pt_codec.decode ~cfg (Pt_codec.encode ~cfg live) in
+  let collect events_arr =
+    let i = ref 0 in
+    Profile.collect ~min_mispred:2 ~lengths:Workloads.lengths ~events:n
+      ~make_source:(fun () ->
+        i := 0;
+        fun () ->
+          let e = events_arr.(!i) in
+          incr i;
+          e)
+      ~make_predictor:(fun () ->
+        let p = Whisper_bpu.Bimodal.make ~log_entries:12 in
+        fun ~pc ~taken ->
+          let pred = p.Whisper_bpu.Predictor.predict ~pc in
+          p.train ~pc ~taken;
+          pred = taken)
+      ()
+  in
+  let p_live = collect live and p_dec = collect decoded in
+  check_int "same mispredictions"
+    (Profile.total_mispred p_live)
+    (Profile.total_mispred p_dec);
+  check_int "same candidates"
+    (Array.length (Profile.candidates p_live))
+    (Array.length (Profile.candidates p_dec))
+
+let () =
+  Alcotest.run "whisper_integration"
+    [
+      ( "pipeline",
+        Alcotest.
+          [
+            test_case "with serialization" `Slow test_pipeline_with_serialization;
+            test_case "empty plan = baseline" `Quick
+              test_runtime_empty_plan_is_baseline;
+            test_case "deterministic" `Slow test_pipeline_deterministic;
+            test_case "profile from decoded trace" `Quick
+              test_profile_from_decoded_trace;
+          ] );
+    ]

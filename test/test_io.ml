@@ -1,0 +1,256 @@
+(* Tests for the binary IO layer: Binio primitives, profile persistence
+   and hint-plan persistence. *)
+
+open Whisper_util
+open Whisper_trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Binio                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_binio_primitives () =
+  let w = Binio.Writer.create () in
+  Binio.Writer.byte w 0xAB;
+  Binio.Writer.varint w 0;
+  Binio.Writer.varint w 127;
+  Binio.Writer.varint w 128;
+  Binio.Writer.varint w 1_000_000_007;
+  Binio.Writer.zigzag w (-42);
+  Binio.Writer.zigzag w 42;
+  Binio.Writer.string w "hello";
+  Binio.Writer.float64 w 3.14159;
+  Binio.Writer.magic w "TAG1";
+  let r = Binio.Reader.create (Binio.Writer.contents w) in
+  check_int "byte" 0xAB (Binio.Reader.byte r);
+  check_int "v0" 0 (Binio.Reader.varint r);
+  check_int "v127" 127 (Binio.Reader.varint r);
+  check_int "v128" 128 (Binio.Reader.varint r);
+  check_int "big" 1_000_000_007 (Binio.Reader.varint r);
+  check_int "neg zigzag" (-42) (Binio.Reader.zigzag r);
+  check_int "pos zigzag" 42 (Binio.Reader.zigzag r);
+  Alcotest.(check string) "string" "hello" (Binio.Reader.string r);
+  Alcotest.(check (float 1e-12)) "float" 3.14159 (Binio.Reader.float64 r);
+  Binio.Reader.magic r "TAG1";
+  check_bool "eof" true (Binio.Reader.eof r)
+
+let test_binio_bad_magic () =
+  let w = Binio.Writer.create () in
+  Binio.Writer.magic w "AAAA";
+  let r = Binio.Reader.create (Binio.Writer.contents w) in
+  check_bool "mismatch raises" true
+    (try
+       Binio.Reader.magic r "BBBB";
+       false
+     with Failure _ -> true)
+
+let test_binio_truncated () =
+  let r = Binio.Reader.create (Bytes.of_string "\x80") in
+  check_bool "truncated varint raises" true
+    (try
+       ignore (Binio.Reader.varint r);
+       false
+     with Failure _ -> true)
+
+let test_binio_negative_varint () =
+  let w = Binio.Writer.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Binio.varint: negative")
+    (fun () -> Binio.Writer.varint w (-1))
+
+let qcheck_binio_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound 0x3FFFFFFFFFFF)
+    (fun v ->
+      let w = Binio.Writer.create () in
+      Binio.Writer.varint w v;
+      Binio.Reader.varint (Binio.Reader.create (Binio.Writer.contents w)) = v)
+
+let qcheck_binio_zigzag_roundtrip =
+  QCheck.Test.make ~name:"zigzag roundtrip" ~count:500
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun v ->
+      let w = Binio.Writer.create () in
+      Binio.Writer.zigzag w v;
+      Binio.Reader.zigzag (Binio.Reader.create (Binio.Writer.contents w)) = v)
+
+let test_binio_file_roundtrip () =
+  let path = Filename.temp_file "whisper_binio" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let data = Bytes.of_string "roundtrip-me" in
+      Binio.to_file path data;
+      Alcotest.(check string)
+        "file roundtrip" "roundtrip-me"
+        (Bytes.to_string (Binio.of_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* Profile_io                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let make_profile () =
+  let p = Profile.create_empty ~lengths:Workloads.lengths () in
+  let rng = Rng.create 12 in
+  for pc = 1 to 20 do
+    let pc = 0x4000 + (pc * 16) in
+    for _ = 1 to 50 do
+      Profile.record_event p ~pc ~taken:(Rng.bool rng)
+        ~correct:(Rng.bernoulli rng 0.8) ~instrs:8
+    done
+  done;
+  for s = 1 to 30 do
+    Profile.add_sample ~raw56:(s * 977) p ~pc:0x4010 ~raw8:(s land 0xFF)
+      ~hashes:(Array.init 16 (fun i -> (s + i) land 0xFF))
+      ~taken:(s mod 3 = 0) ~correct:(s mod 5 <> 0)
+  done;
+  p
+
+let test_profile_roundtrip () =
+  let p = make_profile () in
+  let q = Profile_io.of_bytes (Profile_io.to_bytes p) in
+  check_int "total branches" (Profile.total_branches p) (Profile.total_branches q);
+  check_int "total instrs" (Profile.total_instrs p) (Profile.total_instrs q);
+  check_int "total mispred" (Profile.total_mispred p) (Profile.total_mispred q);
+  check_int "static branches" (Profile.n_static_branches p)
+    (Profile.n_static_branches q);
+  Alcotest.(check (float 1e-9)) "mpki" (Profile.mpki p) (Profile.mpki q);
+  (* stats agree per pc *)
+  Profile.iter_stats p ~f:(fun ~pc s ->
+      let s' = Option.get (Profile.stat q ~pc) in
+      check_int "execs" s.Profile.execs s'.Profile.execs;
+      check_int "taken" s.Profile.taken_cnt s'.Profile.taken_cnt;
+      check_int "mispred" s.Profile.mispred s'.Profile.mispred);
+  (* samples agree in order *)
+  check_int "sample count" (Profile.n_samples p ~pc:0x4010)
+    (Profile.n_samples q ~pc:0x4010);
+  let collect prof =
+    let acc = ref [] in
+    Profile.iter_samples prof ~pc:0x4010
+      ~f:(fun ~raw8 ~raw56 ~hash ~taken ~correct ->
+        acc := (raw8, raw56, List.init 16 hash, taken, correct) :: !acc);
+    List.rev !acc
+  in
+  check_bool "samples identical" true (collect p = collect q)
+
+let test_profile_file_roundtrip () =
+  let p = make_profile () in
+  let path = Filename.temp_file "whisper_profile" ".wprf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profile_io.save p ~path;
+      let q = Profile_io.load ~path in
+      check_int "branches" (Profile.total_branches p) (Profile.total_branches q))
+
+let test_profile_corrupt () =
+  check_bool "bad magic raises" true
+    (try
+       ignore (Profile_io.of_bytes (Bytes.of_string "XXXX\x01"));
+       false
+     with Failure _ -> true)
+
+let test_profile_roundtrip_usable_for_analysis () =
+  (* a deserialized profile must drive the analysis identically *)
+  let p = make_profile () in
+  let q = Profile_io.of_bytes (Profile_io.to_bytes p) in
+  let a1 = Whisper_core.Analyze.run p in
+  let a2 = Whisper_core.Analyze.run q in
+  check_int "same hints"
+    (Whisper_core.Analyze.hint_count a1)
+    (Whisper_core.Analyze.hint_count a2)
+
+(* ------------------------------------------------------------------ *)
+(* Plan_io                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_plan () =
+  let open Whisper_core in
+  let placements =
+    List.init 5 (fun i ->
+        {
+          Inject.branch_block = 10 + i;
+          host_block = 3 + i;
+          hint =
+            Brhint.make ~len_idx:(i mod 16) ~formula_id:(i * 1000)
+              ~bias:(Brhint.bias_of_code (i mod 4))
+              ~pc_offset:(i * 7);
+          branch_pc = 0x4000 + (i * 64);
+          cond_prob = 0.9 +. (0.01 *. float_of_int i);
+        })
+  in
+  let by_host = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Inject.placement) ->
+      Hashtbl.replace by_host p.host_block
+        (p :: Option.value ~default:[] (Hashtbl.find_opt by_host p.host_block)))
+    placements;
+  { Inject.placements; by_host; dropped = 2 }
+
+let test_plan_roundtrip () =
+  let open Whisper_core in
+  let t = make_plan () in
+  let t' = Plan_io.of_bytes (Plan_io.to_bytes t) in
+  check_int "dropped" t.Inject.dropped t'.Inject.dropped;
+  check_int "placements" (List.length t.Inject.placements)
+    (List.length t'.Inject.placements);
+  List.iter2
+    (fun (a : Inject.placement) (b : Inject.placement) ->
+      check_int "branch block" a.branch_block b.branch_block;
+      check_int "host block" a.host_block b.host_block;
+      check_int "branch pc" a.branch_pc b.branch_pc;
+      check_bool "hint" true (a.hint = b.hint);
+      Alcotest.(check (float 1e-12)) "prob" a.cond_prob b.cond_prob)
+    t.Inject.placements t'.Inject.placements;
+  (* hints_at works on the reconstructed index *)
+  List.iter
+    (fun (p : Inject.placement) ->
+      check_bool "indexed" true
+        (List.exists
+           (fun (q : Inject.placement) -> q.branch_pc = p.branch_pc)
+           (Inject.hints_at t' ~block:p.host_block)))
+    t.Inject.placements
+
+let test_plan_file_roundtrip () =
+  let t = make_plan () in
+  let path = Filename.temp_file "whisper_plan" ".whnt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Whisper_core.Plan_io.save t ~path;
+      let t' = Whisper_core.Plan_io.load ~path in
+      check_int "placements"
+        (List.length t.Whisper_core.Inject.placements)
+        (List.length t'.Whisper_core.Inject.placements))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "whisper_io"
+    [
+      ( "binio",
+        Alcotest.
+          [
+            test_case "primitives" `Quick test_binio_primitives;
+            test_case "bad magic" `Quick test_binio_bad_magic;
+            test_case "truncated" `Quick test_binio_truncated;
+            test_case "negative varint" `Quick test_binio_negative_varint;
+            test_case "file roundtrip" `Quick test_binio_file_roundtrip;
+          ]
+        @ qsuite [ qcheck_binio_varint_roundtrip; qcheck_binio_zigzag_roundtrip ] );
+      ( "profile_io",
+        Alcotest.
+          [
+            test_case "roundtrip" `Quick test_profile_roundtrip;
+            test_case "file roundtrip" `Quick test_profile_file_roundtrip;
+            test_case "corrupt" `Quick test_profile_corrupt;
+            test_case "drives analysis" `Quick test_profile_roundtrip_usable_for_analysis;
+          ] );
+      ( "plan_io",
+        Alcotest.
+          [
+            test_case "roundtrip" `Quick test_plan_roundtrip;
+            test_case "file roundtrip" `Quick test_plan_file_roundtrip;
+          ] );
+    ]

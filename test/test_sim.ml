@@ -1,0 +1,154 @@
+(* Tests for whisper_sim: the runner (memoization, technique wiring),
+   report formatting, and fast sanity checks of a few experiments. *)
+
+open Whisper_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_ctx () = Runner.create_ctx ~events:60_000 ()
+
+let app name = Option.get (Whisper_trace.Workloads.by_name name)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_defaults () =
+  let ctx = Runner.create_ctx () in
+  check_int "default events" 1_200_000 (Runner.events ctx);
+  check_int "default baseline" 64 (Runner.baseline_kb ctx);
+  Runner.set_events ctx 1000;
+  check_int "settable" 1000 (Runner.events ctx)
+
+let test_runner_memoizes_runs () =
+  let ctx = small_ctx () in
+  let a = Runner.run ctx (app "finagle-http") Runner.Baseline in
+  let b = Runner.run ctx (app "finagle-http") Runner.Baseline in
+  check_bool "same result object" true (a == b)
+
+let test_runner_memoizes_profiles () =
+  let ctx = small_ctx () in
+  let a = Runner.profile ctx (app "finagle-http") in
+  let b = Runner.profile ctx (app "finagle-http") in
+  check_bool "same profile object" true (a == b);
+  let c = Runner.profile ~baseline_kb:128 ctx (app "finagle-http") in
+  check_bool "different key, different profile" true (not (a == c))
+
+let test_runner_ideal_beats_baseline () =
+  let ctx = small_ctx () in
+  let base = Runner.run ctx (app "cassandra") Runner.Baseline in
+  let ideal = Runner.run ctx (app "cassandra") Runner.Ideal in
+  check_int "ideal never mispredicts" 0 ideal.Whisper_pipeline.Machine.mispredicts;
+  check_bool "baseline does" true (base.Whisper_pipeline.Machine.mispredicts > 0);
+  check_bool "ideal faster" true
+    (ideal.Whisper_pipeline.Machine.cycles < base.Whisper_pipeline.Machine.cycles)
+
+let test_runner_technique_names () =
+  check_bool "names distinct" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map Runner.technique_name
+             [
+               Runner.Baseline;
+               Runner.Ideal;
+               Runner.Mtage_sc;
+               Runner.Rombf 4;
+               Runner.Rombf 8;
+               Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192);
+               Runner.Branchnet Whisper_branchnet.Branchnet.Unlimited;
+               Runner.Whisper Whisper_core.Config.default;
+             ]))
+    = 8)
+
+let test_runner_whisper_runs () =
+  let ctx = small_ctx () in
+  let w =
+    Runner.run ctx (app "finagle-http") (Runner.Whisper Whisper_core.Config.default)
+  in
+  check_bool "completes with sane mpki" true
+    (Whisper_pipeline.Machine.mpki w < 50.0)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_report () =
+  Report.make ~id:"figX" ~title:"sample" ~header:[ "app"; "a"; "b" ]
+    [ ("x", [ 1.0; 2.0 ]); ("y", [ 3.0; 4.0 ]) ]
+
+let test_report_mean () =
+  let r = Report.with_mean (sample_report ()) in
+  match List.rev r.Report.rows with
+  | (label, [ ma; mb ]) :: _ ->
+      Alcotest.(check string) "label" "Avg" label;
+      Alcotest.(check (float 1e-9)) "mean a" 2.0 ma;
+      Alcotest.(check (float 1e-9)) "mean b" 3.0 mb
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_report_csv () =
+  let csv = Report.to_csv (sample_report ()) in
+  check_bool "header" true (String.length csv > 0);
+  check_bool "row" true
+    (List.exists
+       (fun line -> line = "x,1.0000,2.0000")
+       (String.split_on_char '\n' csv))
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (cheap ones only; the heavy ones run in the bench)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_static_tables () =
+  let t1 = Experiments.table1 () in
+  check_int "12 apps" 12 (List.length t1.Report.rows);
+  let t2 = Experiments.table2 () in
+  check_bool "has parameters" true (List.length t2.Report.rows >= 8);
+  let t3 = Experiments.table3 () in
+  (* Table III: min/max/m/hash/ops/buffer (+ explore) *)
+  check_bool "has whisper parameters" true (List.length t3.Report.rows >= 6)
+
+let test_experiment_ids () =
+  check_int "22 experiments" 22 (List.length Experiments.all_ids);
+  List.iter
+    (fun id ->
+      check_bool id true (Experiments.by_id id <> None))
+    Experiments.all_ids;
+  check_bool "unknown" true (Experiments.by_id "fig99" = None)
+
+let test_fig2_shape () =
+  let ctx = small_ctx () in
+  let r = Experiments.fig2 ctx in
+  check_int "12 apps + mean" 13 (List.length r.Report.rows);
+  List.iter
+    (fun (_, vals) ->
+      check_int "one column" 1 (List.length vals);
+      check_bool "positive mpki" true (List.hd vals > 0.0))
+    r.Report.rows
+
+let () =
+  Alcotest.run "whisper_sim"
+    [
+      ( "runner",
+        Alcotest.
+          [
+            test_case "defaults" `Quick test_runner_defaults;
+            test_case "memoizes runs" `Quick test_runner_memoizes_runs;
+            test_case "memoizes profiles" `Quick test_runner_memoizes_profiles;
+            test_case "ideal beats baseline" `Quick test_runner_ideal_beats_baseline;
+            test_case "technique names" `Quick test_runner_technique_names;
+            test_case "whisper runs" `Quick test_runner_whisper_runs;
+          ] );
+      ( "report",
+        Alcotest.
+          [
+            test_case "mean row" `Quick test_report_mean;
+            test_case "csv" `Quick test_report_csv;
+          ] );
+      ( "experiments",
+        Alcotest.
+          [
+            test_case "static tables" `Quick test_static_tables;
+            test_case "ids" `Quick test_experiment_ids;
+            test_case "fig2 shape" `Quick test_fig2_shape;
+          ] );
+    ]
