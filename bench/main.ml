@@ -14,7 +14,12 @@
    Environment:
      WHISPER_EVENTS      branch events per simulation   (default 800_000)
      WHISPER_SKIP_MICRO  set to skip part 1
-     WHISPER_ONLY        comma-separated experiment ids for part 2 *)
+     WHISPER_ONLY        comma-separated experiment ids for part 2
+     WHISPER_JOBS        worker domains for part 2's independent
+                         simulations (default: recommended domain count)
+     WHISPER_CACHE_DIR   enable the persistent result cache rooted at
+                         this directory (default: no cache, so figure
+                         timings always measure real simulations) *)
 
 open Bechamel
 open Toolkit
@@ -24,6 +29,8 @@ let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
 
 let events = env_int "WHISPER_EVENTS" 800_000
+let jobs = env_int "WHISPER_JOBS" (Whisper_util.Pool.default_jobs ())
+let cache_dir = Sys.getenv_opt "WHISPER_CACHE_DIR"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: micro-benchmarks                                           *)
@@ -227,8 +234,13 @@ let hintbuf_ablation ctx =
 
 let () =
   if Sys.getenv_opt "WHISPER_SKIP_MICRO" = None then run_micro ();
-  Printf.printf "\n== paper tables & figures (%d events per run) ==\n\n%!" events;
-  let ctx = Whisper_sim.Runner.create_ctx ~events () in
+  Printf.printf
+    "\n== paper tables & figures (%d events per run, %d jobs%s) ==\n\n%!"
+    events jobs
+    (match cache_dir with
+    | Some dir -> Printf.sprintf ", cache %s" dir
+    | None -> ", no cache");
+  let ctx = Whisper_sim.Runner.create_ctx ~events ~jobs ?cache_dir () in
   let only =
     match Sys.getenv_opt "WHISPER_ONLY" with
     | Some s -> String.split_on_char ',' s
@@ -239,9 +251,28 @@ let () =
       match Whisper_sim.Experiments.by_id id with
       | None -> Printf.eprintf "unknown experiment id %s\n" id
       | Some f ->
+          let before = Whisper_sim.Runner.stats ctx in
           let t0 = Unix.gettimeofday () in
-          Whisper_sim.Report.print (f ctx);
-          Printf.printf "  (%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+          let report = f ctx in
+          let wall_s = Unix.gettimeofday () -. t0 in
+          let after = Whisper_sim.Runner.stats ctx in
+          Whisper_sim.Report.print
+            (Whisper_sim.Report.with_timing
+               {
+                 Whisper_sim.Report.wall_s;
+                 sims = after.Whisper_sim.Runner.sims - before.Whisper_sim.Runner.sims;
+                 sim_seconds =
+                   after.Whisper_sim.Runner.sim_seconds
+                   -. before.Whisper_sim.Runner.sim_seconds;
+                 cache_hits =
+                   after.Whisper_sim.Runner.cache_hits
+                   - before.Whisper_sim.Runner.cache_hits;
+                 cache_misses =
+                   after.Whisper_sim.Runner.cache_misses
+                   - before.Whisper_sim.Runner.cache_misses;
+               }
+               report);
+          Printf.printf "\n%!")
     only;
   hash_ablation ();
   hintbuf_ablation ctx

@@ -49,7 +49,36 @@ let app_arg =
 let events_arg default =
   Arg.(
     value & opt int default
-    & info [ "events"; "n" ] ~docv:"N" ~doc:"Branch events to simulate")
+    & info [ "events"; "n" ] ~docv:"N"
+        ~env:(Cmd.Env.info "WHISPER_EVENTS")
+        ~doc:"Branch events to simulate")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Whisper_util.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "WHISPER_JOBS")
+        ~doc:
+          "Worker domains for independent simulations (default: the \
+           recommended domain count)")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the persistent on-disk result cache")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Whisper_sim.Result_cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "WHISPER_CACHE_DIR")
+        ~doc:"Directory of the persistent result cache")
+
+let make_ctx ~events ~baseline_kb ~jobs ~no_cache ~cache_dir =
+  let cache_dir = if no_cache then None else Some cache_dir in
+  Whisper_sim.Runner.create_ctx ~events ~baseline_kb ~jobs ?cache_dir ()
 
 let input_arg =
   Arg.(
@@ -89,9 +118,9 @@ let technique_arg =
            branchnet32k, branchnet, whisper")
 
 let simulate_cmd =
-  let run app technique events input kb =
+  let run app technique events input kb jobs no_cache cache_dir =
     let app = find_app app in
-    let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+    let ctx = make_ctx ~events ~baseline_kb:kb ~jobs ~no_cache ~cache_dir in
     let r = Whisper_sim.Runner.run ~test_input:input ctx app technique in
     let open Whisper_pipeline.Machine in
     Printf.printf "app            %s (input %d)\n" app.Workloads.name input;
@@ -102,11 +131,19 @@ let simulate_cmd =
     Printf.printf "stalls         mispredict %.0f, frontend %.0f, btb %.0f cycles\n"
       r.misp_stall r.fe_stall r.btb_stall;
     Printf.printf "L1i misses     %d (%d exposed past FDIP)\n" r.l1i_misses
-      r.exposed_misses
+      r.exposed_misses;
+    match Whisper_sim.Runner.cache_dir ctx with
+    | None -> ()
+    | Some dir ->
+        let s = Whisper_sim.Runner.stats ctx in
+        Printf.printf "cache          %s (%s)\n" dir
+          (if s.Whisper_sim.Runner.cache_hits > 0 then "hit" else "miss, stored")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate one application under one technique")
-    Term.(const run $ app_arg $ technique_arg $ events_arg 1_200_000 $ input_arg $ kb_arg)
+    Term.(
+      const run $ app_arg $ technique_arg $ events_arg 1_200_000 $ input_arg
+      $ kb_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
 let profile_cmd =
   let save_arg =
@@ -276,8 +313,8 @@ let experiment_cmd =
       value & opt (some string) None
       & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write results as CSV files")
   in
-  let run id events kb csv_dir =
-    let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+  let run id events kb csv_dir jobs no_cache cache_dir =
+    let ctx = make_ctx ~events ~baseline_kb:kb ~jobs ~no_cache ~cache_dir in
     let ids =
       if id = "all" then Whisper_sim.Experiments.all_ids else [ id ]
     in
@@ -288,10 +325,24 @@ let experiment_cmd =
             Printf.eprintf "unknown experiment %S\n" id;
             exit 1
         | Some f ->
+            let before = Whisper_sim.Runner.stats ctx in
             let t0 = Unix.gettimeofday () in
             let report = f ctx in
+            let wall_s = Unix.gettimeofday () -. t0 in
+            let after = Whisper_sim.Runner.stats ctx in
+            let report =
+              Whisper_sim.Report.with_timing
+                {
+                  Whisper_sim.Report.wall_s;
+                  sims = after.sims - before.sims;
+                  sim_seconds = after.sim_seconds -. before.sim_seconds;
+                  cache_hits = after.cache_hits - before.cache_hits;
+                  cache_misses = after.cache_misses - before.cache_misses;
+                }
+                report
+            in
             Whisper_sim.Report.print report;
-            Printf.printf "  (%.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
+            Printf.printf "\n%!";
             Option.iter
               (fun dir ->
                 (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -303,7 +354,9 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ id_arg $ events_arg 1_200_000 $ kb_arg $ csv_arg)
+    Term.(
+      const run $ id_arg $ events_arg 1_200_000 $ kb_arg $ csv_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg)
 
 let () =
   let info =

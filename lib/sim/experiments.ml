@@ -2,7 +2,27 @@ open Whisper_trace
 open Whisper_pipeline
 
 let dc_apps = Workloads.datacenter
+let dc = Array.to_list dc_apps
 let whisper_default = Runner.Whisper Whisper_core.Config.default
+
+(* Work-item declaration: [sims techniques apps] is the (app, technique)
+   cross product a figure hands to Runner.run_batch up front, so its
+   independent simulations fan out across domains before the sequential
+   row construction reads them back from the memo tables. *)
+let sims ?train_inputs ?test_input ?baseline_kb techniques apps =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun t -> Runner.sim ?train_inputs ?test_input ?baseline_kb app t)
+        techniques)
+    apps
+
+(* Order-preserving parallel computation of per-application rows whose
+   work happens outside Runner.run's memo tables (Figs. 3, 6, 7, 19). *)
+let par_rows ctx f apps =
+  Whisper_util.Pool.map ~jobs:(Runner.jobs ctx) f (Array.of_list apps)
+  |> Array.map (function Ok row -> row | Error e -> raise e)
+  |> Array.to_list
 
 let reduction ~(base : Machine.result) ~(better : Machine.result) =
   Whisper_util.Stats.reduction_pct
@@ -84,6 +104,7 @@ let table3 () =
 (* ------------------------------------------------------------------ *)
 
 let fig1 ctx =
+  Runner.run_batch ctx (sims [ Runner.Baseline; Runner.Ideal ] dc);
   let rows =
     Array.to_list
       (Array.map
@@ -111,6 +132,7 @@ let fig1 ctx =
        rows)
 
 let fig2 ctx =
+  Runner.run_batch ctx (sims [ Runner.Baseline ] dc);
   let rows =
     Array.to_list
       (Array.map
@@ -130,41 +152,40 @@ let fig3 ctx =
     * (1 lsl s.Whisper_bpu.Sizes.tage.Whisper_bpu.Tage.log_entries)
   in
   let rows =
-    Array.to_list
-      (Array.map
-         (fun app ->
-           let classifier =
-             Whisper_core.Classify.create
-               ~capacity_entries:(tagged_entries (Runner.baseline_kb ctx))
-               ()
-           in
-           let p =
-             Whisper_bpu.Tage_scl.predictor
-               (Whisper_bpu.Sizes.for_budget ~kb:(Runner.baseline_kb ctx))
-           in
-           let cfg = Runner.cfg_of ctx app in
-           let src =
-             App_model.source (App_model.create ~cfg ~config:app ~input:1 ())
-           in
-           for _ = 1 to Runner.events ctx do
-             let e = src () in
-             let pred = p.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
-             p.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
-             ignore
-               (Whisper_core.Classify.note classifier ~pc:e.Branch.pc
-                  ~taken:e.Branch.taken
-                  ~mispredicted:(pred <> e.Branch.taken))
-           done;
-           let c = Whisper_core.Classify.counts classifier in
-           let f cls = 100.0 *. Whisper_core.Classify.fraction c cls in
-           ( app.Workloads.name,
-             [
-               f Whisper_core.Classify.Compulsory;
-               f Whisper_core.Classify.Capacity;
-               f Whisper_core.Classify.Conflict;
-               f Whisper_core.Classify.Conditional_on_data;
-             ] ))
-         dc_apps)
+    par_rows ctx
+      (fun app ->
+        let classifier =
+          Whisper_core.Classify.create
+            ~capacity_entries:(tagged_entries (Runner.baseline_kb ctx))
+            ()
+        in
+        let p =
+          Whisper_bpu.Tage_scl.predictor
+            (Whisper_bpu.Sizes.for_budget ~kb:(Runner.baseline_kb ctx))
+        in
+        let cfg = Runner.cfg_of ctx app in
+        let src =
+          App_model.source (App_model.create ~cfg ~config:app ~input:1 ())
+        in
+        for _ = 1 to Runner.events ctx do
+          let e = src () in
+          let pred = p.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
+          p.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
+          ignore
+            (Whisper_core.Classify.note classifier ~pc:e.Branch.pc
+               ~taken:e.Branch.taken
+               ~mispredicted:(pred <> e.Branch.taken))
+        done;
+        let c = Whisper_core.Classify.counts classifier in
+        let f cls = 100.0 *. Whisper_core.Classify.fraction c cls in
+        ( app.Workloads.name,
+          [
+            f Whisper_core.Classify.Compulsory;
+            f Whisper_core.Classify.Capacity;
+            f Whisper_core.Classify.Conflict;
+            f Whisper_core.Classify.Conditional_on_data;
+          ] ))
+      dc
   in
   Report.with_mean
     (Report.make ~id:"fig3" ~title:"Misprediction class breakdown (%)"
@@ -181,6 +202,8 @@ let prior_techniques =
   ]
 
 let fig4 ctx =
+  Runner.run_batch ctx
+    (sims (Runner.Baseline :: List.map snd prior_techniques) dc);
   let rows =
     Array.to_list
       (Array.map
@@ -201,6 +224,8 @@ let fig4 ctx =
 let cdf_points = [ 1; 4; 16; 64; 256; 1024; 4096; 16384 ]
 
 let fig5 ctx =
+  let apps = Array.to_list Workloads.spec @ dc in
+  Runner.run_batch ctx (List.map (fun app -> Runner.collect app) apps);
   let rows =
     List.map
       (fun app ->
@@ -223,7 +248,7 @@ let fig5 ctx =
           100.0 *. float_of_int !s /. total
         in
         (app.Workloads.name, List.map cum_at cdf_points))
-      (Array.to_list Workloads.spec @ Array.to_list dc_apps)
+      apps
   in
   Report.make ~id:"fig5"
     ~title:"CDF of mispredictions over static branches (%)"
@@ -241,25 +266,25 @@ let fig6_buckets =
 
 let fig6 ctx =
   let lengths = Workloads.lengths in
+  Runner.run_batch ctx (List.map (fun app -> Runner.collect app) dc);
   let rows =
-    Array.to_list
-      (Array.map
-         (fun app ->
-           let analysis = Runner.whisper_analysis ctx app in
-           let dist =
-             Whisper_core.Analyze.length_distribution analysis
-               (Runner.profile ctx app)
-           in
-           let bucket_sum (lo, hi) =
-             let s = ref 0.0 in
-             Array.iteri
-               (fun i frac ->
-                 if lengths.(i) >= lo && lengths.(i) <= hi then s := !s +. frac)
-               dist;
-             100.0 *. !s
-           in
-           (app.Workloads.name, List.map bucket_sum fig6_buckets))
-         dc_apps)
+    par_rows ctx
+      (fun app ->
+        let analysis = Runner.whisper_analysis ctx app in
+        let dist =
+          Whisper_core.Analyze.length_distribution analysis
+            (Runner.profile ctx app)
+        in
+        let bucket_sum (lo, hi) =
+          let s = ref 0.0 in
+          Array.iteri
+            (fun i frac ->
+              if lengths.(i) >= lo && lengths.(i) <= hi then s := !s +. frac)
+            dist;
+          100.0 *. !s
+        in
+        (app.Workloads.name, List.map bucket_sum fig6_buckets))
+      dc
   in
   Report.with_mean
     (Report.make ~id:"fig6"
@@ -274,23 +299,23 @@ let fig7 ctx =
     Whisper_core.Analyze.
       [ C_and; C_always; C_cnimplication; C_implication; C_never; C_or; C_others ]
   in
+  Runner.run_batch ctx (List.map (fun app -> Runner.collect app) dc);
   let rows =
-    Array.to_list
-      (Array.map
-         (fun app ->
-           let analysis = Runner.whisper_analysis ctx app in
-           let dist =
-             Whisper_core.Analyze.op_distribution analysis
-               (Runner.profile ctx app)
-           in
-           ( app.Workloads.name,
-             List.map
-               (fun cls ->
-                 match List.assoc_opt cls dist with
-                 | Some f -> 100.0 *. f
-                 | None -> 0.0)
-               classes ))
-         dc_apps)
+    par_rows ctx
+      (fun app ->
+        let analysis = Runner.whisper_analysis ctx app in
+        let dist =
+          Whisper_core.Analyze.op_distribution analysis
+            (Runner.profile ctx app)
+        in
+        ( app.Workloads.name,
+          List.map
+            (fun cls ->
+              match List.assoc_opt cls dist with
+              | Some f -> 100.0 *. f
+              | None -> 0.0)
+            classes ))
+      dc
   in
   Report.with_mean
     (Report.make ~id:"fig7"
@@ -309,6 +334,8 @@ let fig12_techniques =
     ]
 
 let fig12 ctx =
+  Runner.run_batch ctx
+    (sims (Runner.Baseline :: List.map snd fig12_techniques) dc);
   let rows =
     Array.to_list
       (Array.map
@@ -330,6 +357,8 @@ let fig12 ctx =
 let fig13_techniques = prior_techniques @ [ ("Whisper", whisper_default) ]
 
 let fig13 ctx =
+  Runner.run_batch ctx
+    (sims (Runner.Baseline :: List.map snd fig13_techniques) dc);
   let rows =
     Array.to_list
       (Array.map
@@ -351,6 +380,9 @@ let fig14 ctx =
   let classic_whisper =
     Runner.Whisper { Whisper_core.Config.default with ops = `Classic }
   in
+  Runner.run_batch ctx
+    (sims [ Runner.Baseline; Runner.Rombf 8; classic_whisper; whisper_default ]
+       dc);
   let rows =
     Array.to_list
       (Array.map
@@ -372,20 +404,26 @@ let fig14 ctx =
 
 let fig15 ?(app = "cassandra") ctx =
   let app = Option.get (Workloads.by_name app) in
-  let base = Runner.run ctx app Runner.Baseline in
   let fractions = [ 0.001; 0.01; 0.1; 1.0 ] in
+  let config_of frac =
+    {
+      Whisper_core.Config.default with
+      explore_frac = frac;
+      (* fixed hint coverage across points keeps the sweep
+         apples-to-apples while bounding the exhaustive search *)
+      max_hints = 256;
+    }
+  in
+  Runner.run_batch ctx
+    (Runner.sim app Runner.Baseline
+    :: List.map
+         (fun frac -> Runner.sim app (Runner.Whisper (config_of frac)))
+         fractions);
+  let base = Runner.run ctx app Runner.Baseline in
   let rows =
     List.map
       (fun frac ->
-        let config =
-          {
-            Whisper_core.Config.default with
-            explore_frac = frac;
-            (* fixed hint coverage across points keeps the sweep
-               apples-to-apples while bounding the exhaustive search *)
-            max_hints = 256;
-          }
-        in
+        let config = config_of frac in
         let t0 = Unix.gettimeofday () in
         let analysis = Runner.whisper_analysis ~config ctx app in
         let train_time = Unix.gettimeofday () -. t0 in
@@ -430,6 +468,9 @@ let fig16 ctx =
     [ r4; r8; b8; b32; bu; w ]
   in
   let sample_apps = [ dc_apps.(0); dc_apps.(7); dc_apps.(9) ] in
+  (* training-time measurements stay sequential so a loaded sibling
+     domain cannot skew them; only the profile collection is fanned out *)
+  Runner.run_batch ctx (List.map (fun app -> Runner.collect app) sample_apps);
   let rows =
     List.map (fun app -> (app.Workloads.name, one app)) sample_apps
   in
@@ -448,8 +489,21 @@ let fig16 ctx =
        rows)
 
 let fig17 ctx =
+  Runner.run_batch ctx
+    (List.concat_map
+       (fun app ->
+         List.concat_map
+           (fun test_input ->
+             [
+               Runner.sim ~test_input app Runner.Baseline;
+               Runner.sim ~train_inputs:[ 0 ] ~test_input app whisper_default;
+               Runner.sim ~train_inputs:[ test_input ] ~test_input app
+                 whisper_default;
+             ])
+           [ 1; 2; 3 ])
+       dc);
   let rows =
-    Array.to_list dc_apps
+    dc
     |> List.concat_map (fun app ->
            List.map
              (fun test_input ->
@@ -488,6 +542,13 @@ let fig18 ctx =
     ]
   in
   let sample_apps = [ dc_apps.(0); dc_apps.(7); dc_apps.(9); dc_apps.(4) ] in
+  Runner.run_batch ctx
+    (List.concat_map
+       (fun k ->
+         let train_inputs = List.init k Fun.id in
+         sims ~test_input [ Runner.Baseline ] sample_apps
+         @ sims ~train_inputs ~test_input (List.map snd techniques) sample_apps)
+       [ 1; 2; 3; 4; 5 ]);
   let rows =
     List.map
       (fun k ->
@@ -517,22 +578,21 @@ let fig18 ctx =
     rows
 
 let fig19 ctx =
+  Runner.run_batch ctx (List.map (fun app -> Runner.collect app) dc);
   let rows =
-    Array.to_list
-      (Array.map
-         (fun app ->
-           let plan = Runner.whisper_plan ctx app in
-           let cfg = Runner.cfg_of ctx app in
-           let static = Whisper_core.Inject.static_overhead_pct plan cfg in
-           let dynamic =
-             Whisper_core.Inject.dynamic_overhead_pct plan cfg
-               ~source:
-                 (App_model.source
-                    (App_model.create ~cfg ~config:app ~input:1 ()))
-               ~events:(min 400_000 (Runner.events ctx))
-           in
-           (app.Workloads.name, [ static; dynamic ]))
-         dc_apps)
+    par_rows ctx
+      (fun app ->
+        let plan = Runner.whisper_plan ctx app in
+        let cfg = Runner.cfg_of ctx app in
+        let static = Whisper_core.Inject.static_overhead_pct plan cfg in
+        let dynamic =
+          Whisper_core.Inject.dynamic_overhead_pct plan cfg
+            ~source:
+              (App_model.source (App_model.create ~cfg ~config:app ~input:1 ()))
+            ~events:(min 400_000 (Runner.events ctx))
+        in
+        (app.Workloads.name, [ static; dynamic ]))
+      dc
   in
   Report.with_mean
     (Report.make ~id:"fig19"
@@ -546,6 +606,8 @@ let reduction_at_kb ctx app kb =
   reduction ~base ~better:w
 
 let fig20 ctx =
+  Runner.run_batch ctx
+    (sims ~baseline_kb:128 [ Runner.Baseline; whisper_default ] dc);
   let rows =
     Array.to_list
       (Array.map
@@ -563,6 +625,14 @@ let fig21 ctx =
   let sweep_apps =
     [| dc_apps.(0); dc_apps.(1); dc_apps.(4); dc_apps.(7); dc_apps.(8); dc_apps.(10) |]
   in
+  let kbs = [ 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+  Runner.run_batch ctx
+    (List.concat_map
+       (fun kb ->
+         sims ~baseline_kb:kb
+           [ Runner.Baseline; whisper_default ]
+           (Array.to_list sweep_apps))
+       kbs);
   let rows =
     List.map
       (fun kb ->
@@ -570,7 +640,7 @@ let fig21 ctx =
           Array.map (fun app -> reduction_at_kb ctx app kb) sweep_apps
         in
         (Printf.sprintf "%dKB" kb, [ Whisper_util.Stats.mean vals ]))
-      [ 8; 16; 32; 64; 128; 256; 512; 1024 ]
+      kbs
   in
   Report.make ~id:"fig21"
     ~title:"Average Whisper reduction vs baseline predictor size (%)"
@@ -593,6 +663,7 @@ let suffix_reduction (base : Machine.result) (w : Machine.result) ~skip =
     ~improved:(float_of_int (sum w))
 
 let fig22 ctx =
+  Runner.run_batch ctx (sims [ Runner.Baseline; whisper_default ] dc);
   let runs =
     Array.map
       (fun app ->
@@ -627,6 +698,7 @@ let prefix_reduction (base : Machine.result) (w : Machine.result) ~upto =
     ~improved:(float_of_int (sum w))
 
 let fig23 ctx =
+  Runner.run_batch ctx (sims [ Runner.Baseline; whisper_default ] dc);
   let runs =
     Array.map
       (fun app ->

@@ -1,13 +1,29 @@
+type timing = {
+  wall_s : float;
+  sims : int;
+  sim_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
 type t = {
   id : string;
   title : string;
   header : string list;
   rows : (string * float list) list;
   notes : string list;
+  timing : timing option;
 }
 
 let make ~id ~title ~header ?(notes = []) rows =
-  { id; title; header; rows; notes }
+  { id; title; header; rows; notes; timing = None }
+
+let with_timing timing t = { t with timing = Some timing }
+
+let timing_line tm =
+  Printf.sprintf
+    "timing: wall=%.2fs sim-wall=%.2fs sims=%d cache-hits=%d cache-misses=%d"
+    tm.wall_s tm.sim_seconds tm.sims tm.cache_hits tm.cache_misses
 
 let with_mean ?(label = "Avg") t =
   match t.rows with
@@ -52,6 +68,9 @@ let to_string t =
       Buffer.add_char buf '\n')
     t.rows;
   List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Option.iter
+    (fun tm -> Buffer.add_string buf ("  " ^ timing_line tm ^ "\n"))
+    t.timing;
   Buffer.contents buf
 
 let print t = print_string (to_string t)

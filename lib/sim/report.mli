@@ -1,12 +1,24 @@
 (** Tabular results: one structure per reproduced table/figure, printed
     aligned to stdout and exportable as CSV. *)
 
+type timing = {
+  wall_s : float;  (** end-to-end wall time of the experiment *)
+  sims : int;  (** timing-model simulations actually executed *)
+  sim_seconds : float;  (** wall time summed over those simulations *)
+  cache_hits : int;  (** results served from the persistent cache *)
+  cache_misses : int;  (** persistent-cache lookups that missed *)
+}
+
 type t = {
   id : string;  (** e.g. "fig12" *)
   title : string;
   header : string list;  (** column names; first column is the row label *)
   rows : (string * float list) list;
   notes : string list;
+  timing : timing option;
+      (** per-experiment cost accounting; excluded from {!to_csv} so
+          exported rows stay byte-identical across job counts and cache
+          states *)
 }
 
 val make :
@@ -16,9 +28,15 @@ val make :
   ?notes:string list ->
   (string * float list) list ->
   t
+(** [timing] starts as [None]. *)
 
 val with_mean : ?label:string -> t -> t
 (** Append an arithmetic-mean row over the data rows. *)
+
+val with_timing : timing -> t -> t
+(** Attach cost accounting, printed as a trailing [timing:] line. *)
+
+val timing_line : timing -> string
 
 val print : t -> unit
 

@@ -1,0 +1,106 @@
+open Whisper_util
+open Whisper_pipeline
+
+let format_version = 1
+let default_dir = "_whisper_cache"
+let magic_tag = "WRSC"
+
+type t = { cache_dir : string }
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(dir = default_dir) () =
+  mkdir_p dir;
+  { cache_dir = dir }
+
+let dir t = t.cache_dir
+
+let path t ~key =
+  Filename.concat t.cache_dir (Digest.to_hex (Digest.string key) ^ ".res")
+
+let encode ~key (r : Machine.result) =
+  let w = Binio.Writer.create () in
+  Binio.Writer.magic w magic_tag;
+  Binio.Writer.varint w format_version;
+  Binio.Writer.string w key;
+  Binio.Writer.float64 w r.Machine.cycles;
+  Binio.Writer.varint w r.instrs;
+  Binio.Writer.varint w r.branches;
+  Binio.Writer.varint w r.mispredicts;
+  Binio.Writer.float64 w r.misp_stall;
+  Binio.Writer.float64 w r.fe_stall;
+  Binio.Writer.float64 w r.btb_stall;
+  Binio.Writer.varint w r.l1i_misses;
+  Binio.Writer.varint w r.exposed_misses;
+  let int_array a =
+    Binio.Writer.varint w (Array.length a);
+    Array.iter (Binio.Writer.varint w) a
+  in
+  int_array r.seg_mispredicts;
+  int_array r.seg_instrs;
+  Binio.Writer.contents w
+
+let decode ~key b =
+  let r = Binio.Reader.create b in
+  Binio.Reader.magic r magic_tag;
+  let v = Binio.Reader.varint r in
+  if v <> format_version then
+    failwith (Printf.sprintf "Result_cache: format version %d, expected %d" v
+                format_version);
+  let k = Binio.Reader.string r in
+  if k <> key then failwith "Result_cache: key mismatch (digest collision?)";
+  let cycles = Binio.Reader.float64 r in
+  let instrs = Binio.Reader.varint r in
+  let branches = Binio.Reader.varint r in
+  let mispredicts = Binio.Reader.varint r in
+  let misp_stall = Binio.Reader.float64 r in
+  let fe_stall = Binio.Reader.float64 r in
+  let btb_stall = Binio.Reader.float64 r in
+  let l1i_misses = Binio.Reader.varint r in
+  let exposed_misses = Binio.Reader.varint r in
+  let int_array () =
+    let n = Binio.Reader.varint r in
+    Array.init n (fun _ -> Binio.Reader.varint r)
+  in
+  let seg_mispredicts = int_array () in
+  let seg_instrs = int_array () in
+  if not (Binio.Reader.eof r) then failwith "Result_cache: trailing bytes";
+  {
+    Machine.cycles;
+    instrs;
+    branches;
+    mispredicts;
+    misp_stall;
+    fe_stall;
+    btb_stall;
+    l1i_misses;
+    exposed_misses;
+    seg_mispredicts;
+    seg_instrs;
+  }
+
+let find t ~key =
+  let file = path t ~key in
+  if not (Sys.file_exists file) then None
+  else
+    match decode ~key (Binio.of_file file) with
+    | r -> Some r
+    | exception _ ->
+        (try Sys.remove file with Sys_error _ -> ());
+        None
+
+(* Best-effort: the cache is an optimization, so a failing write (read-only
+   or bogus cache directory, disk full) must not abort a simulation that
+   already succeeded. *)
+let store t ~key r =
+  let file = path t ~key in
+  let tmp = Printf.sprintf "%s.%d.tmp" file (Domain.self () :> int) in
+  try
+    Binio.to_file tmp (encode ~key r);
+    Sys.rename tmp file
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ())

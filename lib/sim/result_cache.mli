@@ -1,0 +1,39 @@
+(** Persistent on-disk cache of timing-model results, so re-running
+    [whisper experiment] only simulates configurations that changed.
+
+    Entries live under a cache directory (default [_whisper_cache/]),
+    one file per result, named by the digest of its key — the same
+    [technique_key × app × inputs × events × baseline_kb] string the
+    in-memory memo table uses.  Files carry a magic tag, a format
+    version and the full key; anything that fails to decode (trailing
+    garbage, version bump, digest collision, torn write) is treated as
+    a miss and removed, and the caller recomputes.  Writes go through a
+    per-domain temp file and an atomic rename, so concurrent workers
+    never expose partial entries. *)
+
+type t
+
+val default_dir : string
+(** ["_whisper_cache"] *)
+
+val create : ?dir:string -> unit -> t
+(** Create the directory (and parents) if needed. *)
+
+val dir : t -> string
+
+val path : t -> key:string -> string
+(** The entry file a given key maps to (for tests/tooling). *)
+
+val find : t -> key:string -> Whisper_pipeline.Machine.result option
+(** [None] on miss or on a corrupt/stale entry (which is deleted). *)
+
+val store : t -> key:string -> Whisper_pipeline.Machine.result -> unit
+(** Best-effort: write failures (read-only or bogus cache directory,
+    disk full) are swallowed — the result simply is not cached. *)
+
+val encode : key:string -> Whisper_pipeline.Machine.result -> bytes
+
+val decode : key:string -> bytes -> Whisper_pipeline.Machine.result
+(** @raise Failure on corrupt input, version or key mismatch. *)
+
+val format_version : int

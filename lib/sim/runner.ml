@@ -28,34 +28,86 @@ let technique_key = function
         c.explore_frac c.hint_buffer_size c.max_hints c.seed
   | t -> technique_name t
 
+(* Whether offline training (and hence a profile) is needed at all. *)
+let technique_needs_profile = function
+  | Baseline | Ideal | Mtage_sc -> false
+  | Rombf _ | Branchnet _ | Whisper _ -> true
+
+type stats = {
+  sims : int;
+  sim_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
 type ctx = {
   mutable ev : int;
   base_kb : int;
+  mutable n_jobs : int;
+  cache : Result_cache.t option;
+  lock : Mutex.t;
   cfgs : (string, Cfg.t) Hashtbl.t;
   profiles : (string, Profile.t) Hashtbl.t;
   results : (string, Whisper_pipeline.Machine.result) Hashtbl.t;
+  mutable n_sims : int;
+  mutable sim_seconds : float;
+  mutable n_hits : int;
+  mutable n_misses : int;
 }
 
-let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) () =
+let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) ?(jobs = 1) ?cache_dir
+    () =
   {
     ev = events;
     base_kb = baseline_kb;
+    n_jobs = max 1 jobs;
+    cache = Option.map (fun dir -> Result_cache.create ~dir ()) cache_dir;
+    lock = Mutex.create ();
     cfgs = Hashtbl.create 32;
     profiles = Hashtbl.create 64;
     results = Hashtbl.create 256;
+    n_sims = 0;
+    sim_seconds = 0.0;
+    n_hits = 0;
+    n_misses = 0;
   }
 
 let events ctx = ctx.ev
 let set_events ctx e = ctx.ev <- e
 let baseline_kb ctx = ctx.base_kb
+let jobs ctx = ctx.n_jobs
+let set_jobs ctx j = ctx.n_jobs <- max 1 j
+let cache_dir ctx = Option.map Result_cache.dir ctx.cache
+
+let stats ctx =
+  Mutex.protect ctx.lock (fun () ->
+      {
+        sims = ctx.n_sims;
+        sim_seconds = ctx.sim_seconds;
+        cache_hits = ctx.n_hits;
+        cache_misses = ctx.n_misses;
+      })
+
+(* Double-checked memoization over a ctx table.  The compute step runs
+   outside the lock, so two domains racing on the same key may both
+   compute it; every computation here is a pure function of the key, so
+   whichever value lands first is kept and the tables stay consistent
+   (and physical equality of repeated sequential lookups is preserved,
+   which the memoization tests rely on). *)
+let memo ctx tbl key compute =
+  match Mutex.protect ctx.lock (fun () -> Hashtbl.find_opt tbl key) with
+  | Some v -> v
+  | None -> (
+      let v = compute () in
+      Mutex.protect ctx.lock (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some v -> v
+          | None ->
+              Hashtbl.add tbl key v;
+              v))
 
 let cfg_of ctx (app : Workloads.config) =
-  match Hashtbl.find_opt ctx.cfgs app.name with
-  | Some cfg -> cfg
-  | None ->
-      let cfg = Workloads.build_cfg app in
-      Hashtbl.add ctx.cfgs app.name cfg;
-      cfg
+  memo ctx ctx.cfgs app.name (fun () -> Workloads.build_cfg app)
 
 let source ctx app ~input =
   let cfg = cfg_of ctx app in
@@ -68,28 +120,23 @@ let lbr_predictor kb () =
     p.train ~pc ~taken;
     pred = taken
 
+let profile_key ctx app ~inputs ~kb =
+  Printf.sprintf "%s/%s/%d/%d" app.Workloads.name
+    (String.concat "," (List.map string_of_int inputs))
+    kb ctx.ev
+
 let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
   let kb = Option.value baseline_kb ~default:ctx.base_kb in
-  let key =
-    Printf.sprintf "%s/%s/%d/%d" app.Workloads.name
-      (String.concat "," (List.map string_of_int inputs))
-      kb ctx.ev
-  in
-  match Hashtbl.find_opt ctx.profiles key with
-  | Some p -> p
-  | None ->
+  let key = profile_key ctx app ~inputs ~kb in
+  memo ctx ctx.profiles key (fun () ->
       let one input =
         Profile.collect ~lengths:Workloads.lengths ~events:ctx.ev
           ~make_source:(fun () -> source ctx app ~input)
           ~make_predictor:(lbr_predictor kb) ()
       in
-      let p =
-        match inputs with
-        | [ input ] -> one input
-        | inputs -> Profile.merge (List.map one inputs)
-      in
-      Hashtbl.add ctx.profiles key p;
-      p
+      match inputs with
+      | [ input ] -> one input
+      | inputs -> Profile.merge (List.map one inputs))
 
 let whisper_analysis ?(config = Whisper_core.Config.default)
     ?(train_inputs = [ 0 ]) ctx app =
@@ -152,23 +199,134 @@ let make_exec ctx app technique ~train_inputs ~kb =
       in
       fun e -> Whisper_core.Runtime.exec rt e
 
+let run_key ctx app technique ~train_inputs ~test_input ~kb =
+  Printf.sprintf "%s/%s/%s/%d/%d/%d" app.Workloads.name
+    (technique_key technique)
+    (String.concat "," (List.map string_of_int train_inputs))
+    test_input kb ctx.ev
+
+let bump_hit ctx =
+  Mutex.protect ctx.lock (fun () -> ctx.n_hits <- ctx.n_hits + 1)
+
+let bump_miss ctx =
+  Mutex.protect ctx.lock (fun () -> ctx.n_misses <- ctx.n_misses + 1)
+
 let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
     technique =
   let kb = Option.value baseline_kb ~default:ctx.base_kb in
-  let key =
-    Printf.sprintf "%s/%s/%s/%d/%d/%d" app.Workloads.name
-      (technique_key technique)
-      (String.concat "," (List.map string_of_int train_inputs))
-      test_input kb ctx.ev
+  let key = run_key ctx app technique ~train_inputs ~test_input ~kb in
+  memo ctx ctx.results key (fun () ->
+      match Option.bind ctx.cache (fun c -> Result_cache.find c ~key) with
+      | Some r ->
+          bump_hit ctx;
+          r
+      | None ->
+          if ctx.cache <> None then bump_miss ctx;
+          let t0 = Unix.gettimeofday () in
+          let exec = make_exec ctx app technique ~train_inputs ~kb in
+          let r =
+            Whisper_pipeline.Machine.run ~events:ctx.ev
+              ~source:(source ctx app ~input:test_input)
+              ~predict:exec ()
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.protect ctx.lock (fun () ->
+              ctx.n_sims <- ctx.n_sims + 1;
+              ctx.sim_seconds <- ctx.sim_seconds +. dt);
+          Option.iter (fun c -> Result_cache.store c ~key r) ctx.cache;
+          r)
+
+(* ------------------------------------------------------------------ *)
+(* Declarative work items and the parallel batch driver               *)
+(* ------------------------------------------------------------------ *)
+
+type work =
+  | Sim of {
+      app : Workloads.config;
+      technique : technique;
+      train_inputs : int list;
+      test_input : int;
+      baseline_kb : int option;
+    }
+  | Collect of {
+      app : Workloads.config;
+      inputs : int list;
+      baseline_kb : int option;
+    }
+
+let sim ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb app technique =
+  Sim { app; technique; train_inputs; test_input; baseline_kb }
+
+let collect ?(inputs = [ 0 ]) ?baseline_kb app =
+  Collect { app; inputs; baseline_kb }
+
+let work_key ctx = function
+  | Sim w ->
+      run_key ctx w.app w.technique ~train_inputs:w.train_inputs
+        ~test_input:w.test_input
+        ~kb:(Option.value w.baseline_kb ~default:ctx.base_kb)
+  | Collect w ->
+      "profile/"
+      ^ profile_key ctx w.app ~inputs:w.inputs
+          ~kb:(Option.value w.baseline_kb ~default:ctx.base_kb)
+
+let exec_work ctx = function
+  | Sim w ->
+      ignore
+        (run ~train_inputs:w.train_inputs ~test_input:w.test_input
+           ?baseline_kb:w.baseline_kb ctx w.app w.technique)
+  | Collect w ->
+      ignore (profile ~inputs:w.inputs ?baseline_kb:w.baseline_kb ctx w.app)
+
+(* Profiles a Sim's training step will need, declared explicitly so the
+   batch driver can collect each one exactly once before the simulations
+   fan out (instead of racing domains re-collecting the same profile). *)
+let implied_collects ctx works =
+  List.filter_map
+    (function
+      | Sim w when technique_needs_profile w.technique ->
+          let kb = Option.value w.baseline_kb ~default:ctx.base_kb in
+          (* a cached result needs no training, hence no profile *)
+          let key =
+            run_key ctx w.app w.technique ~train_inputs:w.train_inputs
+              ~test_input:w.test_input ~kb
+          in
+          let cached =
+            Hashtbl.mem ctx.results key
+            || Option.fold ~none:false
+                 ~some:(fun c -> Sys.file_exists (Result_cache.path c ~key))
+                 ctx.cache
+          in
+          if cached then None
+          else Some (collect ~inputs:w.train_inputs ~baseline_kb:kb w.app)
+      | Sim _ | Collect _ -> None)
+    works
+
+let dedup ctx works =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun w ->
+      let k = work_key ctx w in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    works
+
+let run_phase ctx works =
+  match works with
+  | [] -> ()
+  | [ w ] -> exec_work ctx w
+  | works ->
+      Whisper_util.Pool.map ~jobs:ctx.n_jobs (exec_work ctx)
+        (Array.of_list works)
+      |> Array.iter (function Ok () -> () | Error e -> raise e)
+
+let run_batch ctx works =
+  let works = dedup ctx works in
+  let collects, simulations =
+    List.partition (function Collect _ -> true | Sim _ -> false) works
   in
-  match Hashtbl.find_opt ctx.results key with
-  | Some r -> r
-  | None ->
-      let exec = make_exec ctx app technique ~train_inputs ~kb in
-      let r =
-        Whisper_pipeline.Machine.run ~events:ctx.ev
-          ~source:(source ctx app ~input:test_input)
-          ~predict:exec ()
-      in
-      Hashtbl.add ctx.results key r;
-      r
+  run_phase ctx (dedup ctx (collects @ implied_collects ctx simulations));
+  run_phase ctx simulations

@@ -1,7 +1,18 @@
 (** Unified execution of every prediction technique in the study over the
     timing model, with in-process memoization of profiles, trained
     artifacts and run results, so that figures sharing configurations
-    (e.g. Figs. 12 and 13) pay for each simulation once. *)
+    (e.g. Figs. 12 and 13) pay for each simulation once.
+
+    Two layers sit on top of the memo tables:
+
+    - an optional persistent {!Result_cache} (enabled with
+      [create_ctx ~cache_dir]), which survives CLI invocations so warm
+      reruns perform zero simulations;
+    - a declarative batch API ({!sim} / {!collect} / {!run_batch}) that
+      fans independent work items out across a {!Whisper_util.Pool} of
+      domains.  Every stochastic component draws from a deterministic
+      per-task RNG seeded by the work item's own parameters, so parallel
+      and sequential runs produce identical tables. *)
 
 type technique =
   | Baseline  (** the TAGE-SC-L under test, alone *)
@@ -13,15 +24,42 @@ type technique =
 
 val technique_name : technique -> string
 
-type ctx
-(** Holds caches; create one per process/figure batch. *)
+val technique_key : technique -> string
+(** Stable key covering the technique's full configuration (used by both
+    the memo tables and the on-disk cache). *)
 
-val create_ctx : ?events:int -> ?baseline_kb:int -> unit -> ctx
-(** Defaults: 1.2 M branch events per simulation, 64 KB baseline. *)
+type ctx
+(** Holds caches; create one per process/figure batch.  All operations
+    on a [ctx] are safe to call from multiple pool workers. *)
+
+val create_ctx :
+  ?events:int -> ?baseline_kb:int -> ?jobs:int -> ?cache_dir:string -> unit ->
+  ctx
+(** Defaults: 1.2 M branch events per simulation, 64 KB baseline, one
+    worker domain, no persistent cache.  [cache_dir] enables the on-disk
+    result cache rooted at that directory (created if missing). *)
 
 val events : ctx -> int
 val set_events : ctx -> int -> unit
 val baseline_kb : ctx -> int
+
+val jobs : ctx -> int
+(** Worker domains used by {!run_batch} (and the experiments' own
+    parallel row computations). *)
+
+val set_jobs : ctx -> int -> unit
+val cache_dir : ctx -> string option
+
+type stats = {
+  sims : int;  (** timing-model simulations actually executed *)
+  sim_seconds : float;  (** wall time summed over those simulations *)
+  cache_hits : int;  (** results served from the persistent cache *)
+  cache_misses : int;  (** persistent-cache lookups that missed *)
+}
+
+val stats : ctx -> stats
+(** Cumulative counters since [create_ctx]; snapshot before/after an
+    experiment to report its cost ({!Report.with_timing}). *)
 
 val cfg_of : ctx -> Whisper_trace.Workloads.config -> Whisper_trace.Cfg.t
 
@@ -45,7 +83,8 @@ val run :
 (** Memoized end-to-end run: offline training from the train-input
     profile(s) where the technique needs it, then a timed simulation on
     the test input (default: train on input 0, test on input 1 — the
-    paper's cross-input methodology). *)
+    paper's cross-input methodology).  Consults the persistent cache
+    (when enabled) before simulating, and stores fresh results back. *)
 
 val whisper_analysis :
   ?config:Whisper_core.Config.t ->
@@ -62,3 +101,34 @@ val whisper_plan :
   Whisper_trace.Workloads.config ->
   Whisper_core.Inject.t
 (** Analysis + hint injection plan (for Fig. 19 overheads). *)
+
+(** {2 Declarative work items}
+
+    Each experiment declares the (app, technique) simulations and the
+    profile collections it needs; {!run_batch} dedups them, collects the
+    profiles first (each exactly once), then fans the independent
+    simulations out across [jobs ctx] domains.  Results land in the memo
+    tables and the persistent cache, so the experiment's subsequent row
+    construction is pure, sequential lookups — deterministic ordering
+    regardless of job count. *)
+
+type work
+
+val sim :
+  ?train_inputs:int list ->
+  ?test_input:int ->
+  ?baseline_kb:int ->
+  Whisper_trace.Workloads.config ->
+  technique ->
+  work
+(** One end-to-end run, same defaults as {!run}. *)
+
+val collect :
+  ?inputs:int list -> ?baseline_kb:int -> Whisper_trace.Workloads.config ->
+  work
+(** One profile collection, same defaults as {!profile}. *)
+
+val run_batch : ctx -> work list -> unit
+(** Execute every distinct work item, in parallel when [jobs ctx > 1].
+    A task's exception is captured by the pool (other tasks complete)
+    and re-raised here afterwards. *)

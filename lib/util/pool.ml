@@ -1,0 +1,121 @@
+type t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  n_jobs : int;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a state = Pending | Done of ('a, exn) result
+
+type 'a future = {
+  fut_lock : Mutex.t;
+  fut_done : Condition.t;
+  mutable state : 'a state;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let jobs t = t.n_jobs
+
+(* Workers drain the queue until it is empty {e and} the pool is closing,
+   so a shutdown never drops queued tasks. *)
+let rec worker t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.not_empty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let task = Queue.pop t.queue in
+    Condition.signal t.not_full;
+    Mutex.unlock t.lock;
+    task ();
+    worker t
+  end
+
+let create ?queue_capacity ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let capacity =
+    match queue_capacity with
+    | None -> 4 * jobs
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Pool.create: queue_capacity must be >= 1"
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      n_jobs = jobs;
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t f =
+  let fut =
+    { fut_lock = Mutex.create (); fut_done = Condition.create (); state = Pending }
+  in
+  let task () =
+    let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock fut.fut_lock;
+    fut.state <- Done r;
+    Condition.broadcast fut.fut_done;
+    Mutex.unlock fut.fut_lock
+  in
+  Mutex.lock t.lock;
+  while Queue.length t.queue >= t.capacity && not t.closing do
+    Condition.wait t.not_full t.lock
+  done;
+  if t.closing then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock;
+  fut
+
+let await fut =
+  Mutex.lock fut.fut_lock;
+  let rec wait () =
+    match fut.state with
+    | Done r -> r
+    | Pending ->
+        Condition.wait fut.fut_done fut.fut_lock;
+        wait ()
+  in
+  let r = wait () in
+  Mutex.unlock fut.fut_lock;
+  r
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+let map ?jobs f xs =
+  let n = Array.length xs in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs = 1 || n <= 1 then
+    Array.map (fun x -> try Ok (f x) with e -> Error e) xs
+  else begin
+    let pool = create ~jobs:(min jobs n) () in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () ->
+        let futures = Array.map (fun x -> submit pool (fun () -> f x)) xs in
+        Array.map await futures)
+  end

@@ -1,0 +1,41 @@
+(** Fixed-size domain pool for fanning independent tasks out across
+    cores (OCaml 5 [Domain] + [Mutex]/[Condition], no external deps).
+
+    Tasks are closures pushed onto a bounded queue; a fixed set of worker
+    domains drains it.  Exceptions raised by a task are captured in that
+    task's future and never take a worker down, so one failing task
+    cannot wedge the pool.  [map] preserves input order, which keeps
+    parallel experiment tables byte-identical to sequential ones. *)
+
+type t
+(** A running pool of worker domains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val create : ?queue_capacity:int -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs >= 1]).
+    [queue_capacity] bounds the task queue (default [4 * jobs]);
+    {!submit} blocks while the queue is full. *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+type 'a future
+(** Handle for one submitted task's eventual outcome. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task; blocks while the queue is at capacity.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val await : 'a future -> ('a, exn) result
+(** Block until the task has run; [Error e] if it raised [e]. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join every worker.  Idempotent. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Order-preserving parallel map over a transient pool: [(map f xs).(i)]
+    is the outcome of [f xs.(i)].  With [jobs <= 1] (default
+    {!default_jobs}) the calls run sequentially in the caller's domain;
+    either way per-element exceptions are captured, not raised. *)

@@ -1,0 +1,238 @@
+(* Tests for the multicore experiment runner: the Whisper_util.Pool
+   domain pool, the persistent result cache (round trip, corruption
+   recovery, warm-rerun hit accounting) and the parallel-vs-sequential
+   determinism of experiment tables. *)
+
+open Whisper_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let app name = Option.get (Whisper_trace.Workloads.by_name name)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ok = function Ok v -> v | Error e -> raise e
+
+let test_pool_map_ordered () =
+  let xs = Array.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      let ys = Whisper_util.Pool.map ~jobs (fun i -> i * i) xs in
+      check_int "length" 100 (Array.length ys);
+      Array.iteri
+        (fun i r -> check_int (Printf.sprintf "jobs=%d slot %d" jobs i) (i * i) (ok r))
+        ys)
+    [ 1; 4 ]
+
+let test_pool_map_matches_sequential () =
+  let xs = Array.init 64 (fun i -> i * 37) in
+  let seq = Whisper_util.Pool.map ~jobs:1 (fun x -> x + 1) xs in
+  let par = Whisper_util.Pool.map ~jobs:4 (fun x -> x + 1) xs in
+  check_bool "identical outcome arrays" true (seq = par)
+
+exception Boom of int
+
+let test_pool_exception_isolated () =
+  let xs = Array.init 32 Fun.id in
+  let ys =
+    Whisper_util.Pool.map ~jobs:4
+      (fun i -> if i = 17 then raise (Boom i) else i)
+      xs
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check_int "survivor" i v
+      | Error (Boom n) ->
+          check_int "failing slot" 17 i;
+          check_int "payload" 17 n
+      | Error e -> raise e)
+    ys;
+  check_bool "exactly one failure" true
+    (Array.to_list ys
+    |> List.filter (function Error _ -> true | Ok _ -> false)
+    |> List.length = 1);
+  (* the pool machinery is not wedged: a fresh map still completes *)
+  let again = Whisper_util.Pool.map ~jobs:4 (fun i -> -i) xs in
+  Array.iteri (fun i r -> check_int "after failure" (-i) (ok r)) again
+
+let test_pool_submit_await () =
+  let pool = Whisper_util.Pool.create ~jobs:2 () in
+  check_int "jobs" 2 (Whisper_util.Pool.jobs pool);
+  let futures =
+    List.init 20 (fun i -> Whisper_util.Pool.submit pool (fun () -> 3 * i))
+  in
+  List.iteri
+    (fun i fut -> check_int "future" (3 * i) (ok (Whisper_util.Pool.await fut)))
+    futures;
+  Whisper_util.Pool.shutdown pool;
+  (* idempotent, and submit after shutdown is refused *)
+  Whisper_util.Pool.shutdown pool;
+  check_bool "submit refused" true
+    (match Whisper_util.Pool.submit pool (fun () -> 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sample_result () =
+  {
+    Whisper_pipeline.Machine.cycles = 123456.75;
+    instrs = 98765;
+    branches = 4321;
+    mispredicts = 171;
+    misp_stall = 3400.5;
+    fe_stall = 120.25;
+    btb_stall = 33.0;
+    l1i_misses = 99;
+    exposed_misses = 41;
+    seg_mispredicts = [| 17; 18; 19; 20; 21; 22; 23; 24; 25; 26 |];
+    seg_instrs = [| 9876; 9877; 9878; 9879; 9880; 9881; 9882; 9883; 9884; 9885 |];
+  }
+
+let test_cache_roundtrip () =
+  let c = Result_cache.create ~dir:"_test_cache_rt" () in
+  let key = "cassandra/whisper/0/1/64/60000" in
+  check_bool "empty" true (Result_cache.find c ~key = None);
+  let r = sample_result () in
+  Result_cache.store c ~key r;
+  check_bool "round trip" true (Result_cache.find c ~key = Some r);
+  (* a different key maps to a different entry *)
+  check_bool "other key misses" true (Result_cache.find c ~key:"other" = None)
+
+let test_cache_corrupt_recovery () =
+  let c = Result_cache.create ~dir:"_test_cache_corrupt" () in
+  let key = "mysql/tage-scl/0/1/64/60000" in
+  Result_cache.store c ~key (sample_result ());
+  let file = Result_cache.path c ~key in
+  (* truncate mid-entry: decode must fail, find must fall back to a miss
+     and remove the file *)
+  let oc = open_out_bin file in
+  output_string oc "WRSCgarbage";
+  close_out oc;
+  check_bool "corrupt entry is a miss" true (Result_cache.find c ~key = None);
+  check_bool "corrupt entry removed" true (not (Sys.file_exists file));
+  (* storing again repairs the entry *)
+  Result_cache.store c ~key (sample_result ());
+  check_bool "repaired" true (Result_cache.find c ~key = Some (sample_result ()))
+
+let test_cache_key_mismatch () =
+  let r = sample_result () in
+  let b = Result_cache.encode ~key:"key-a" r in
+  check_bool "decode under the written key" true
+    (Result_cache.decode ~key:"key-a" b = r);
+  check_bool "decode under another key fails" true
+    (match Result_cache.decode ~key:"key-b" b with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Runner: parallel determinism and warm-cache reruns                 *)
+(* ------------------------------------------------------------------ *)
+
+let det_events = 20_000
+
+let test_parallel_determinism () =
+  let seq = Runner.create_ctx ~events:det_events ~jobs:1 () in
+  let par = Runner.create_ctx ~events:det_events ~jobs:4 () in
+  let a = Experiments.fig1 seq in
+  let b = Experiments.fig1 par in
+  check_string "fig1 rows byte-identical" (Report.to_csv a) (Report.to_csv b);
+  check_int "4 domains" 4 (Runner.jobs par);
+  check_bool "both simulated" true
+    ((Runner.stats seq).Runner.sims > 0
+    && (Runner.stats seq).Runner.sims = (Runner.stats par).Runner.sims)
+
+let test_run_batch_dedups () =
+  let ctx = Runner.create_ctx ~events:det_events ~jobs:2 () in
+  let a = app "finagle-http" in
+  Runner.run_batch ctx
+    [
+      Runner.sim a Runner.Baseline;
+      Runner.sim a Runner.Baseline;
+      Runner.collect a;
+      Runner.collect a;
+    ];
+  check_int "duplicate work items simulate once" 1 (Runner.stats ctx).Runner.sims
+
+let test_warm_cache_rerun () =
+  let dir = "_test_cache_warm" in
+  let cold = Runner.create_ctx ~events:det_events ~jobs:2 ~cache_dir:dir () in
+  let r1 = Experiments.fig2 cold in
+  let s1 = Runner.stats cold in
+  check_bool "cold run simulates" true (s1.Runner.sims > 0);
+  check_int "cold run misses every lookup" s1.Runner.sims s1.Runner.cache_misses;
+  check_int "cold run has no hits" 0 s1.Runner.cache_hits;
+  (* a fresh ctx over the same directory must be served from disk *)
+  let warm = Runner.create_ctx ~events:det_events ~jobs:2 ~cache_dir:dir () in
+  let r2 = Experiments.fig2 warm in
+  let s2 = Runner.stats warm in
+  check_int "warm run performs zero simulations" 0 s2.Runner.sims;
+  check_int "warm run misses nothing" 0 s2.Runner.cache_misses;
+  check_int "warm run hits everything" s1.Runner.sims s2.Runner.cache_hits;
+  check_string "identical rows" (Report.to_csv r1) (Report.to_csv r2);
+  (* changing the events count invalidates the key, not the entry *)
+  let other =
+    Runner.create_ctx ~events:(det_events + 1) ~jobs:1 ~cache_dir:dir ()
+  in
+  ignore (Runner.run other (app "mysql") Runner.Baseline);
+  check_int "different events: miss" 1 (Runner.stats other).Runner.cache_misses
+
+let test_report_timing_line () =
+  let tm =
+    {
+      Report.wall_s = 1.5;
+      sims = 24;
+      sim_seconds = 4.25;
+      cache_hits = 0;
+      cache_misses = 24;
+    }
+  in
+  check_string "format" "timing: wall=1.50s sim-wall=4.25s sims=24 cache-hits=0 cache-misses=24"
+    (Report.timing_line tm);
+  let r =
+    Report.with_timing tm
+      (Report.make ~id:"figX" ~title:"t" ~header:[ "app"; "a" ] [ ("x", [ 1.0 ]) ])
+  in
+  check_bool "printed" true
+    (let s = Report.to_string r in
+     let sub = "timing: wall=" in
+     let n = String.length s and m = String.length sub in
+     let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+     scan 0);
+  check_bool "csv excludes timing" true
+    (Report.to_csv r = Report.to_csv { r with Report.timing = None })
+
+let () =
+  Alcotest.run "whisper_runner"
+    [
+      ( "pool",
+        Alcotest.
+          [
+            test_case "map preserves order" `Quick test_pool_map_ordered;
+            test_case "map matches sequential" `Quick test_pool_map_matches_sequential;
+            test_case "exception isolated" `Quick test_pool_exception_isolated;
+            test_case "submit/await/shutdown" `Quick test_pool_submit_await;
+          ] );
+      ( "result-cache",
+        Alcotest.
+          [
+            test_case "round trip" `Quick test_cache_roundtrip;
+            test_case "corrupt recovery" `Quick test_cache_corrupt_recovery;
+            test_case "key mismatch" `Quick test_cache_key_mismatch;
+          ] );
+      ( "runner",
+        Alcotest.
+          [
+            test_case "parallel determinism" `Quick test_parallel_determinism;
+            test_case "run_batch dedups" `Quick test_run_batch_dedups;
+            test_case "warm cache rerun" `Quick test_warm_cache_rerun;
+            test_case "report timing line" `Quick test_report_timing_line;
+          ] );
+    ]
