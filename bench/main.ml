@@ -19,7 +19,11 @@
                          simulations (default: recommended domain count)
      WHISPER_CACHE_DIR   enable the persistent result cache rooted at
                          this directory (default: no cache, so figure
-                         timings always measure real simulations) *)
+                         timings always measure real simulations)
+     WHISPER_FAULTS      chaos mode: per-work-item fault probability
+                         (default 0.0; failing items are retried, then
+                         reported as DEGRADED rows)
+     WHISPER_FAULT_SEED  seed of the fault injector (default 42) *)
 
 open Bechamel
 open Toolkit
@@ -31,6 +35,13 @@ let env_int name default =
 let events = env_int "WHISPER_EVENTS" 800_000
 let jobs = env_int "WHISPER_JOBS" (Whisper_util.Pool.default_jobs ())
 let cache_dir = Sys.getenv_opt "WHISPER_CACHE_DIR"
+
+let faults =
+  match Sys.getenv_opt "WHISPER_FAULTS" with
+  | Some v -> float_of_string v
+  | None -> 0.0
+
+let fault_seed = env_int "WHISPER_FAULT_SEED" 42
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: micro-benchmarks                                           *)
@@ -240,7 +251,10 @@ let () =
     (match cache_dir with
     | Some dir -> Printf.sprintf ", cache %s" dir
     | None -> ", no cache");
-  let ctx = Whisper_sim.Runner.create_ctx ~events ~jobs ?cache_dir () in
+  let ctx =
+    Whisper_sim.Runner.create_ctx ~events ~jobs ?cache_dir ~faults ~fault_seed
+      ()
+  in
   let only =
     match Sys.getenv_opt "WHISPER_ONLY" with
     | Some s -> String.split_on_char ',' s
@@ -252,26 +266,47 @@ let () =
       | None -> Printf.eprintf "unknown experiment id %s\n" id
       | Some f ->
           let before = Whisper_sim.Runner.stats ctx in
+          let fbefore = Whisper_sim.Runner.fault_summary ctx in
           let t0 = Unix.gettimeofday () in
           let report = f ctx in
           let wall_s = Unix.gettimeofday () -. t0 in
           let after = Whisper_sim.Runner.stats ctx in
-          Whisper_sim.Report.print
-            (Whisper_sim.Report.with_timing
-               {
-                 Whisper_sim.Report.wall_s;
-                 sims = after.Whisper_sim.Runner.sims - before.Whisper_sim.Runner.sims;
-                 sim_seconds =
-                   after.Whisper_sim.Runner.sim_seconds
-                   -. before.Whisper_sim.Runner.sim_seconds;
-                 cache_hits =
-                   after.Whisper_sim.Runner.cache_hits
-                   - before.Whisper_sim.Runner.cache_hits;
-                 cache_misses =
-                   after.Whisper_sim.Runner.cache_misses
-                   - before.Whisper_sim.Runner.cache_misses;
-               }
-               report);
+          let report =
+            Whisper_sim.Report.with_timing
+              {
+                Whisper_sim.Report.wall_s;
+                sims = after.Whisper_sim.Runner.sims - before.Whisper_sim.Runner.sims;
+                sim_seconds =
+                  after.Whisper_sim.Runner.sim_seconds
+                  -. before.Whisper_sim.Runner.sim_seconds;
+                cache_hits =
+                  after.Whisper_sim.Runner.cache_hits
+                  - before.Whisper_sim.Runner.cache_hits;
+                cache_misses =
+                  after.Whisper_sim.Runner.cache_misses
+                  - before.Whisper_sim.Runner.cache_misses;
+              }
+              report
+          in
+          let report =
+            if faults <= 0.0 then report
+            else
+              let fa = Whisper_sim.Runner.fault_summary ctx in
+              let open Whisper_sim.Report in
+              with_faults
+                {
+                  injected = fa.injected - fbefore.injected;
+                  observed = fa.observed - fbefore.observed;
+                  retries = fa.retries - fbefore.retries;
+                  quarantined = fa.quarantined - fbefore.quarantined;
+                  cache_write_failures =
+                    fa.cache_write_failures - fbefore.cache_write_failures;
+                  cache_corrupt_dropped =
+                    fa.cache_corrupt_dropped - fbefore.cache_corrupt_dropped;
+                }
+                report
+          in
+          Whisper_sim.Report.print report;
           Printf.printf "\n%!")
     only;
   hash_ablation ();

@@ -76,9 +76,50 @@ let cache_dir_arg =
         ~env:(Cmd.Env.info "WHISPER_CACHE_DIR")
         ~doc:"Directory of the persistent result cache")
 
-let make_ctx ~events ~baseline_kb ~jobs ~no_cache ~cache_dir =
+let faults_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "faults" ] ~docv:"P"
+        ~env:(Cmd.Env.info "WHISPER_FAULTS")
+        ~doc:
+          "Chaos mode: inject a deterministic fault with probability $(docv) \
+           per work item / cache entry.  Failing items are retried and, if \
+           they keep failing, reported as DEGRADED rows instead of aborting \
+           the run")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~env:(Cmd.Env.info "WHISPER_FAULT_SEED")
+        ~doc:
+          "Seed of the fault injector; the same seed reproduces the same \
+           faults regardless of $(b,--jobs)")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts granted to a failing or timed-out work item \
+           (exponential backoff between attempts)")
+
+let task_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "task-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-attempt wall budget of one work item; a timed-out attempt is \
+           retried, then quarantined")
+
+let make_ctx ~events ~baseline_kb ~jobs ~no_cache ~cache_dir ?(faults = 0.0)
+    ?(fault_seed = 42) ?(retries = 2) ?task_timeout () =
   let cache_dir = if no_cache then None else Some cache_dir in
-  Whisper_sim.Runner.create_ctx ~events ~baseline_kb ~jobs ?cache_dir ()
+  (* an injected hang must outlast the timeout, or it would never trip it *)
+  let hang_s = Option.map (fun t -> 1.5 *. t) task_timeout in
+  Whisper_sim.Runner.create_ctx ~events ~baseline_kb ~jobs ?cache_dir ~faults
+    ~fault_seed ~retries ?task_timeout ?hang_s ()
 
 let input_arg =
   Arg.(
@@ -120,7 +161,7 @@ let technique_arg =
 let simulate_cmd =
   let run app technique events input kb jobs no_cache cache_dir =
     let app = find_app app in
-    let ctx = make_ctx ~events ~baseline_kb:kb ~jobs ~no_cache ~cache_dir in
+    let ctx = make_ctx ~events ~baseline_kb:kb ~jobs ~no_cache ~cache_dir () in
     let r = Whisper_sim.Runner.run ~test_input:input ctx app technique in
     let open Whisper_pipeline.Machine in
     Printf.printf "app            %s (input %d)\n" app.Workloads.name input;
@@ -201,7 +242,13 @@ let analyze_cmd =
     let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
     let analysis =
       match load with
-      | Some path -> Whisper_core.Analyze.run (Profile_io.load ~path)
+      | Some path -> (
+          match Profile_io.load ~path with
+          | Ok p -> Whisper_core.Analyze.run p
+          | Error e ->
+              Printf.eprintf "error: %s\n"
+                (Whisper_util.Whisper_error.to_string e);
+              exit 1)
       | None -> Whisper_sim.Runner.whisper_analysis ctx app
     in
     Option.iter
@@ -258,8 +305,12 @@ let trace_cmd =
     output_bytes oc encoded;
     close_out oc;
     (* verify the round trip, as a real collector's self-check would *)
-    let decoded = Pt_codec.decode ~cfg encoded in
-    assert (decoded = events_arr);
+    (match Pt_codec.decode ~cfg encoded with
+    | Ok decoded -> assert (decoded = events_arr)
+    | Error e ->
+        Printf.eprintf "round-trip failed: %s\n"
+          (Whisper_util.Whisper_error.to_string e);
+        exit 1);
     Printf.printf "wrote %d events to %s (%d bytes, %.2f bytes/branch)\n" events
       out (Bytes.length encoded)
       (float_of_int (Bytes.length encoded) /. float_of_int events);
@@ -313,8 +364,13 @@ let experiment_cmd =
       value & opt (some string) None
       & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write results as CSV files")
   in
-  let run id events kb csv_dir jobs no_cache cache_dir =
-    let ctx = make_ctx ~events ~baseline_kb:kb ~jobs ~no_cache ~cache_dir in
+  let run id events kb csv_dir jobs no_cache cache_dir faults fault_seed
+      retries task_timeout =
+    let ctx =
+      make_ctx ~events ~baseline_kb:kb ~jobs ~no_cache ~cache_dir ~faults
+        ~fault_seed ~retries ?task_timeout ()
+    in
+    let chaos = faults > 0.0 || task_timeout <> None in
     let ids =
       if id = "all" then Whisper_sim.Experiments.all_ids else [ id ]
     in
@@ -326,6 +382,7 @@ let experiment_cmd =
             exit 1
         | Some f ->
             let before = Whisper_sim.Runner.stats ctx in
+            let fbefore = Whisper_sim.Runner.fault_summary ctx in
             let t0 = Unix.gettimeofday () in
             let report = f ctx in
             let wall_s = Unix.gettimeofday () -. t0 in
@@ -341,6 +398,24 @@ let experiment_cmd =
                 }
                 report
             in
+            let report =
+              if not chaos then report
+              else
+                let fa = Whisper_sim.Runner.fault_summary ctx in
+                let open Whisper_sim.Report in
+                with_faults
+                  {
+                    injected = fa.injected - fbefore.injected;
+                    observed = fa.observed - fbefore.observed;
+                    retries = fa.retries - fbefore.retries;
+                    quarantined = fa.quarantined - fbefore.quarantined;
+                    cache_write_failures =
+                      fa.cache_write_failures - fbefore.cache_write_failures;
+                    cache_corrupt_dropped =
+                      fa.cache_corrupt_dropped - fbefore.cache_corrupt_dropped;
+                  }
+                  report
+            in
             Whisper_sim.Report.print report;
             Printf.printf "\n%!";
             Option.iter
@@ -350,13 +425,21 @@ let experiment_cmd =
                 output_string oc (Whisper_sim.Report.to_csv report);
                 close_out oc)
               csv_dir)
-      ids
+      ids;
+    let f = Whisper_sim.Runner.fault_summary ctx in
+    if f.Whisper_sim.Report.cache_write_failures > 0 then
+      Printf.eprintf "warning: %d result-cache entries failed to persist\n"
+        f.Whisper_sim.Report.cache_write_failures;
+    if f.Whisper_sim.Report.cache_corrupt_dropped > 0 then
+      Printf.eprintf "warning: %d corrupt result-cache entries dropped\n"
+        f.Whisper_sim.Report.cache_corrupt_dropped
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
     Term.(
       const run $ id_arg $ events_arg 1_200_000 $ kb_arg $ csv_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg)
+      $ no_cache_arg $ cache_dir_arg $ faults_arg $ fault_seed_arg
+      $ retries_arg $ task_timeout_arg)
 
 let () =
   let info =

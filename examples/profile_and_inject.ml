@@ -21,7 +21,7 @@ let () =
   Printf.printf "PT-encoded %d events into %d bytes (%.2f bits/branch)\n"
     (Array.length events) (Bytes.length encoded)
     (8.0 *. float_of_int (Bytes.length encoded) /. float_of_int (Array.length events));
-  assert (Pt_codec.decode ~cfg encoded = events);
+  assert (Pt_codec.decode_exn ~cfg encoded = events);
   Printf.printf "decode round-trip OK\n\n";
 
   (* 2. profiles from two inputs, merged *)

@@ -19,14 +19,16 @@ let to_bytes (t : Inject.t) =
     t.Inject.placements;
   Binio.Writer.contents w
 
-let of_bytes data =
+let of_bytes_exn data =
   let r = Binio.Reader.create data in
   Binio.Reader.magic r tag;
+  let voff = Binio.Reader.pos r in
   let v = Binio.Reader.varint r in
   if v <> format_version then
-    failwith (Printf.sprintf "Plan_io: unsupported version %d" v);
+    Whisper_error.raise_error ~offset:voff Whisper_error.Plan_io
+      (Whisper_error.Version_mismatch { got = v; expected = format_version });
   let dropped = Binio.Reader.varint r in
-  let n = Binio.Reader.varint r in
+  let n = Binio.Reader.count r in
   let placements =
     List.init n (fun _ ->
         let branch_block = Binio.Reader.varint r in
@@ -44,7 +46,20 @@ let of_bytes data =
       in
       Hashtbl.replace by_host p.host_block (p :: existing))
     placements;
+  if not (Binio.Reader.eof r) then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Whisper_error.Plan_io
+      Whisper_error.Trailing_bytes;
   { Inject.placements; by_host; dropped }
+
+(* totality boundary: anything the decode path throws (including
+   Invalid_argument out of Brhint.decode on a corrupt hint code) leaves
+   here as a typed error *)
+let of_bytes data =
+  match
+    Whisper_error.protect Whisper_error.Plan_io (fun () -> of_bytes_exn data)
+  with
+  | Ok v -> v
+  | Error e -> raise (Whisper_error.Error e)
 
 let save t ~path = Binio.to_file path (to_bytes t)
 let load ~path = of_bytes (Binio.of_file path)

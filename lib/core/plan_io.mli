@@ -5,7 +5,8 @@
 
 val to_bytes : Inject.t -> bytes
 val of_bytes : bytes -> Inject.t
-(** @raise Failure on corrupt input. *)
+(** @raise Whisper_error.Error (typed: byte offset, kind) on corrupt,
+    truncated or version-skewed input. *)
 
 val save : Inject.t -> path:string -> unit
 val load : path:string -> Inject.t

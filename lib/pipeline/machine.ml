@@ -14,10 +14,19 @@ type result = {
   seg_instrs : int array;
 }
 
-let ipc r = if r.cycles = 0.0 then 0.0 else float_of_int r.instrs /. r.cycles
+(* A quarantined (degraded) run is marked by NaN cycles with zeroed
+   integer counters; derived metrics must poison to NaN rather than
+   read the zeros as a perfect score. *)
+let degraded r = Float.is_nan r.cycles
+
+let ipc r =
+  if degraded r then Float.nan
+  else if r.cycles = 0.0 then 0.0
+  else float_of_int r.instrs /. r.cycles
 
 let mpki r =
-  if r.instrs = 0 then 0.0
+  if degraded r then Float.nan
+  else if r.instrs = 0 then 0.0
   else 1000.0 *. float_of_int r.mispredicts /. float_of_int r.instrs
 
 let speedup_pct ~baseline ~improved =

@@ -34,6 +34,10 @@ type result = {
   seg_instrs : int array;
 }
 
+val degraded : result -> bool
+(** [true] on the quarantined-run sentinel (NaN cycles).  Derived
+    metrics of a degraded result are NaN, not a perfect score. *)
+
 val ipc : result -> float
 val mpki : result -> float
 

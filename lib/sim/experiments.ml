@@ -25,9 +25,11 @@ let par_rows ctx f apps =
   |> Array.to_list
 
 let reduction ~(base : Machine.result) ~(better : Machine.result) =
-  Whisper_util.Stats.reduction_pct
-    ~baseline:(float_of_int base.Machine.mispredicts)
-    ~improved:(float_of_int better.Machine.mispredicts)
+  if Machine.degraded base || Machine.degraded better then Float.nan
+  else
+    Whisper_util.Stats.reduction_pct
+      ~baseline:(float_of_int base.Machine.mispredicts)
+      ~improved:(float_of_int better.Machine.mispredicts)
 
 (* ------------------------------------------------------------------ *)
 
@@ -651,16 +653,18 @@ let fig21 ctx =
 
 (* suffix reduction after skipping the first [w] of 10 segments *)
 let suffix_reduction (base : Machine.result) (w : Machine.result) ~skip =
-  let sum (r : Machine.result) =
-    let s = ref 0 in
-    Array.iteri
-      (fun i m -> if i >= skip then s := !s + m)
-      r.Machine.seg_mispredicts;
-    !s
-  in
-  Whisper_util.Stats.reduction_pct
-    ~baseline:(float_of_int (sum base))
-    ~improved:(float_of_int (sum w))
+  if Machine.degraded base || Machine.degraded w then Float.nan
+  else
+    let sum (r : Machine.result) =
+      let s = ref 0 in
+      Array.iteri
+        (fun i m -> if i >= skip then s := !s + m)
+        r.Machine.seg_mispredicts;
+      !s
+    in
+    Whisper_util.Stats.reduction_pct
+      ~baseline:(float_of_int (sum base))
+      ~improved:(float_of_int (sum w))
 
 let fig22 ctx =
   Runner.run_batch ctx (sims [ Runner.Baseline; whisper_default ] dc);
@@ -686,16 +690,18 @@ let fig22 ctx =
     ~header:[ "warmup"; "avg-reduction" ] rows
 
 let prefix_reduction (base : Machine.result) (w : Machine.result) ~upto =
-  let sum (r : Machine.result) =
-    let s = ref 0 in
-    Array.iteri
-      (fun i m -> if i < upto then s := !s + m)
-      r.Machine.seg_mispredicts;
-    !s
-  in
-  Whisper_util.Stats.reduction_pct
-    ~baseline:(float_of_int (sum base))
-    ~improved:(float_of_int (sum w))
+  if Machine.degraded base || Machine.degraded w then Float.nan
+  else
+    let sum (r : Machine.result) =
+      let s = ref 0 in
+      Array.iteri
+        (fun i m -> if i < upto then s := !s + m)
+        r.Machine.seg_mispredicts;
+      !s
+    in
+    Whisper_util.Stats.reduction_pct
+      ~baseline:(float_of_int (sum base))
+      ~improved:(float_of_int (sum w))
 
 let fig23 ctx =
   Runner.run_batch ctx (sims [ Runner.Baseline; whisper_default ] dc);

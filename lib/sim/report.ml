@@ -6,6 +6,15 @@ type timing = {
   cache_misses : int;
 }
 
+type faults = {
+  injected : int;
+  observed : int;
+  retries : int;
+  quarantined : int;
+  cache_write_failures : int;
+  cache_corrupt_dropped : int;
+}
+
 type t = {
   id : string;
   title : string;
@@ -13,17 +22,26 @@ type t = {
   rows : (string * float list) list;
   notes : string list;
   timing : timing option;
+  faults : faults option;
 }
 
 let make ~id ~title ~header ?(notes = []) rows =
-  { id; title; header; rows; notes; timing = None }
+  { id; title; header; rows; notes; timing = None; faults = None }
 
 let with_timing timing t = { t with timing = Some timing }
+let with_faults faults t = { t with faults = Some faults }
 
 let timing_line tm =
   Printf.sprintf
     "timing: wall=%.2fs sim-wall=%.2fs sims=%d cache-hits=%d cache-misses=%d"
     tm.wall_s tm.sim_seconds tm.sims tm.cache_hits tm.cache_misses
+
+let faults_line f =
+  Printf.sprintf
+    "faults: injected=%d observed=%d retries=%d quarantined=%d \
+     cache-write-fail=%d cache-corrupt-drop=%d"
+    f.injected f.observed f.retries f.quarantined f.cache_write_failures
+    f.cache_corrupt_dropped
 
 let with_mean ?(label = "Avg") t =
   match t.rows with
@@ -63,7 +81,11 @@ let to_string t =
     (fun (label, vals) ->
       Buffer.add_string buf (Printf.sprintf "%-*s" (label_width + 2) label);
       List.iter
-        (fun v -> Buffer.add_string buf (Printf.sprintf "%*.2f" col_width v))
+        (fun v ->
+          (* quarantined work items carry NaN sentinels, not numbers *)
+          if Float.is_nan v then
+            Buffer.add_string buf (Printf.sprintf "%*s" col_width "DEGRADED")
+          else Buffer.add_string buf (Printf.sprintf "%*.2f" col_width v))
         vals;
       Buffer.add_char buf '\n')
     t.rows;
@@ -71,6 +93,9 @@ let to_string t =
   Option.iter
     (fun tm -> Buffer.add_string buf ("  " ^ timing_line tm ^ "\n"))
     t.timing;
+  Option.iter
+    (fun f -> Buffer.add_string buf ("  " ^ faults_line f ^ "\n"))
+    t.faults;
   Buffer.contents buf
 
 let print t = print_string (to_string t)

@@ -9,6 +9,15 @@ type timing = {
   cache_misses : int;  (** persistent-cache lookups that missed *)
 }
 
+type faults = {
+  injected : int;  (** faults the injector decided to fire *)
+  observed : int;  (** task failures/timeouts seen by the batch driver *)
+  retries : int;  (** extra attempts beyond the first, across all work *)
+  quarantined : int;  (** work items that exhausted their retry budget *)
+  cache_write_failures : int;  (** cache entries that failed to persist *)
+  cache_corrupt_dropped : int;  (** cache entries dropped as corrupt *)
+}
+
 type t = {
   id : string;  (** e.g. "fig12" *)
   title : string;
@@ -19,6 +28,8 @@ type t = {
       (** per-experiment cost accounting; excluded from {!to_csv} so
           exported rows stay byte-identical across job counts and cache
           states *)
+  faults : faults option;
+      (** degraded-mode accounting; also excluded from {!to_csv} *)
 }
 
 val make :
@@ -36,7 +47,13 @@ val with_mean : ?label:string -> t -> t
 val with_timing : timing -> t -> t
 (** Attach cost accounting, printed as a trailing [timing:] line. *)
 
+val with_faults : faults -> t -> t
+(** Attach degraded-mode accounting, printed as a trailing [faults:]
+    line.  Cells of quarantined work render as [DEGRADED] (their values
+    are NaN sentinels). *)
+
 val timing_line : timing -> string
+val faults_line : faults -> string
 
 val print : t -> unit
 

@@ -5,7 +5,14 @@ let format_version = 1
 let default_dir = "_whisper_cache"
 let magic_tag = "WRSC"
 
-type t = { cache_dir : string }
+type counters = { write_failures : int; corrupt_dropped : int }
+
+type t = {
+  cache_dir : string;
+  corrupt : (key:string -> bytes -> bytes) option;
+  n_write_failures : int Atomic.t;
+  n_corrupt_dropped : int Atomic.t;
+}
 
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
@@ -13,11 +20,22 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?(dir = default_dir) () =
+let create ?corrupt ?(dir = default_dir) () =
   mkdir_p dir;
-  { cache_dir = dir }
+  {
+    cache_dir = dir;
+    corrupt;
+    n_write_failures = Atomic.make 0;
+    n_corrupt_dropped = Atomic.make 0;
+  }
 
 let dir t = t.cache_dir
+
+let counters t =
+  {
+    write_failures = Atomic.get t.n_write_failures;
+    corrupt_dropped = Atomic.get t.n_corrupt_dropped;
+  }
 
 let path t ~key =
   Filename.concat t.cache_dir (Digest.to_hex (Digest.string key) ^ ".res")
@@ -44,15 +62,20 @@ let encode ~key (r : Machine.result) =
   int_array r.seg_instrs;
   Binio.Writer.contents w
 
-let decode ~key b =
+let decode_exn ~key b =
   let r = Binio.Reader.create b in
   Binio.Reader.magic r magic_tag;
+  let voff = Binio.Reader.pos r in
   let v = Binio.Reader.varint r in
   if v <> format_version then
-    failwith (Printf.sprintf "Result_cache: format version %d, expected %d" v
-                format_version);
+    Whisper_error.raise_error ~offset:voff ~context:key
+      Whisper_error.Result_cache
+      (Whisper_error.Version_mismatch { got = v; expected = format_version });
+  let koff = Binio.Reader.pos r in
   let k = Binio.Reader.string r in
-  if k <> key then failwith "Result_cache: key mismatch (digest collision?)";
+  if k <> key then
+    Whisper_error.raise_error ~offset:koff ~context:key
+      Whisper_error.Result_cache Whisper_error.Key_mismatch;
   let cycles = Binio.Reader.float64 r in
   let instrs = Binio.Reader.varint r in
   let branches = Binio.Reader.varint r in
@@ -63,12 +86,14 @@ let decode ~key b =
   let l1i_misses = Binio.Reader.varint r in
   let exposed_misses = Binio.Reader.varint r in
   let int_array () =
-    let n = Binio.Reader.varint r in
+    let n = Binio.Reader.count r in
     Array.init n (fun _ -> Binio.Reader.varint r)
   in
   let seg_mispredicts = int_array () in
   let seg_instrs = int_array () in
-  if not (Binio.Reader.eof r) then failwith "Result_cache: trailing bytes";
+  if not (Binio.Reader.eof r) then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r) ~context:key
+      Whisper_error.Result_cache Whisper_error.Trailing_bytes;
   {
     Machine.cycles;
     instrs;
@@ -83,19 +108,34 @@ let decode ~key b =
     seg_instrs;
   }
 
+let decode ~key b =
+  Whisper_error.protect ~context:key Whisper_error.Result_cache (fun () ->
+      decode_exn ~key b)
+
 let find t ~key =
   let file = path t ~key in
   if not (Sys.file_exists file) then None
   else
-    match decode ~key (Binio.of_file file) with
-    | r -> Some r
-    | exception _ ->
+    let read () =
+      let b = Binio.of_file file in
+      match t.corrupt with None -> b | Some f -> f ~key b
+    in
+    match
+      Whisper_error.protect ~context:key Whisper_error.Result_cache (fun () ->
+          decode_exn ~key (read ()))
+    with
+    | Ok r -> Some r
+    | Error _ ->
+        (* corrupt/stale entries (torn write, bit rot, version bump) are
+           dropped and counted, and the caller recomputes *)
         (try Sys.remove file with Sys_error _ -> ());
+        Atomic.incr t.n_corrupt_dropped;
         None
 
 (* Best-effort: the cache is an optimization, so a failing write (read-only
    or bogus cache directory, disk full) must not abort a simulation that
-   already succeeded. *)
+   already succeeded — but it is counted, so a fleet run can report how
+   much of its work failed to persist. *)
 let store t ~key r =
   let file = path t ~key in
   let tmp = Printf.sprintf "%s.%d.tmp" file (Domain.self () :> int) in
@@ -103,4 +143,5 @@ let store t ~key r =
     Binio.to_file tmp (encode ~key r);
     Sys.rename tmp file
   with Sys_error _ | Unix.Unix_error _ ->
-    (try Sys.remove tmp with Sys_error _ -> ())
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Atomic.incr t.n_write_failures

@@ -9,31 +9,55 @@
     garbage, version bump, digest collision, torn write) is treated as
     a miss and removed, and the caller recomputes.  Writes go through a
     per-domain temp file and an atomic rename, so concurrent workers
-    never expose partial entries. *)
+    never expose partial entries.
+
+    Both degradation paths are counted (see {!counters}): entries
+    dropped because they failed to decode, and writes that could not be
+    persisted.  A fleet run surfaces the totals in its report summary
+    rather than silently losing cache effectiveness. *)
 
 type t
+
+type counters = { write_failures : int; corrupt_dropped : int }
 
 val default_dir : string
 (** ["_whisper_cache"] *)
 
-val create : ?dir:string -> unit -> t
-(** Create the directory (and parents) if needed. *)
+val create :
+  ?corrupt:(key:string -> bytes -> bytes) -> ?dir:string -> unit -> t
+(** Create the directory (and parents) if needed.  [corrupt] is a
+    read-path hook applied to entry bytes before decoding — used by the
+    fault-injection harness to model on-disk bit rot; production callers
+    omit it. *)
 
 val dir : t -> string
+
+val counters : t -> counters
+(** Snapshot of the degradation counters accumulated so far. *)
 
 val path : t -> key:string -> string
 (** The entry file a given key maps to (for tests/tooling). *)
 
 val find : t -> key:string -> Whisper_pipeline.Machine.result option
-(** [None] on miss or on a corrupt/stale entry (which is deleted). *)
+(** [None] on miss or on a corrupt/stale entry (which is deleted and
+    counted under [corrupt_dropped]). *)
 
 val store : t -> key:string -> Whisper_pipeline.Machine.result -> unit
 (** Best-effort: write failures (read-only or bogus cache directory,
-    disk full) are swallowed — the result simply is not cached. *)
+    disk full) are swallowed and counted under [write_failures] — the
+    result simply is not cached. *)
 
 val encode : key:string -> Whisper_pipeline.Machine.result -> bytes
 
-val decode : key:string -> bytes -> Whisper_pipeline.Machine.result
-(** @raise Failure on corrupt input, version or key mismatch. *)
+val decode :
+  key:string ->
+  bytes ->
+  (Whisper_pipeline.Machine.result, Whisper_util.Whisper_error.t) result
+(** Total: corrupt input, version skew and key mismatch all come back
+    as typed [Error]s carrying the byte offset of the fault. *)
+
+val decode_exn : key:string -> bytes -> Whisper_pipeline.Machine.result
+(** @raise Whisper_util.Whisper_error.Error on corrupt input, version
+    or key mismatch. *)
 
 val format_version : int

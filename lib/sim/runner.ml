@@ -45,6 +45,9 @@ type ctx = {
   base_kb : int;
   mutable n_jobs : int;
   cache : Result_cache.t option;
+  fault : Whisper_util.Fault.t option;
+  policy : Whisper_util.Pool.policy;
+  quarantine : (string, Whisper_util.Whisper_error.t) Hashtbl.t;
   lock : Mutex.t;
   cfgs : (string, Cfg.t) Hashtbl.t;
   profiles : (string, Profile.t) Hashtbl.t;
@@ -53,15 +56,42 @@ type ctx = {
   mutable sim_seconds : float;
   mutable n_hits : int;
   mutable n_misses : int;
+  mutable n_retries : int;
+  mutable n_observed : int;
 }
 
 let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) ?(jobs = 1) ?cache_dir
-    () =
+    ?(faults = 0.0) ?(fault_seed = 42) ?(retries = 2) ?task_timeout ?hang_s ()
+    =
+  let fault =
+    if faults > 0.0 then
+      Some (Whisper_util.Fault.create ~seed:fault_seed ?hang_s ~rate:faults ())
+    else None
+  in
+  (* under chaos mode the cache read path is corrupted too, so the
+     corrupt-entry-drop machinery gets exercised end to end *)
+  let corrupt =
+    Option.map
+      (fun f ~key b -> Whisper_util.Fault.corrupt f ~key:("cache/" ^ key) b)
+      fault
+  in
+  let policy =
+    if fault = None && task_timeout = None then Whisper_util.Pool.default_policy
+    else
+      {
+        Whisper_util.Pool.default_policy with
+        attempts = 1 + max 0 retries;
+        timeout_s = task_timeout;
+      }
+  in
   {
     ev = events;
     base_kb = baseline_kb;
     n_jobs = max 1 jobs;
-    cache = Option.map (fun dir -> Result_cache.create ~dir ()) cache_dir;
+    cache = Option.map (fun dir -> Result_cache.create ?corrupt ~dir ()) cache_dir;
+    fault;
+    policy;
+    quarantine = Hashtbl.create 16;
     lock = Mutex.create ();
     cfgs = Hashtbl.create 32;
     profiles = Hashtbl.create 64;
@@ -70,6 +100,8 @@ let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) ?(jobs = 1) ?cache_dir
     sim_seconds = 0.0;
     n_hits = 0;
     n_misses = 0;
+    n_retries = 0;
+    n_observed = 0;
   }
 
 let events ctx = ctx.ev
@@ -211,30 +243,56 @@ let bump_hit ctx =
 let bump_miss ctx =
   Mutex.protect ctx.lock (fun () -> ctx.n_misses <- ctx.n_misses + 1)
 
+(* What a quarantined work item reports: NaN for every cycle/stall
+   account (rendered as DEGRADED in tables), zeros elsewhere.  The row
+   survives in the output so a chaos run still prints a full table. *)
+let degraded_result () =
+  {
+    Whisper_pipeline.Machine.cycles = Float.nan;
+    instrs = 0;
+    branches = 0;
+    mispredicts = 0;
+    misp_stall = Float.nan;
+    fe_stall = Float.nan;
+    btb_stall = Float.nan;
+    l1i_misses = 0;
+    exposed_misses = 0;
+    seg_mispredicts = Array.make 10 0;
+    seg_instrs = Array.make 10 0;
+  }
+
+let quarantined ctx =
+  Mutex.protect ctx.lock (fun () ->
+      Hashtbl.fold (fun k e acc -> (k, e) :: acc) ctx.quarantine []
+      |> List.sort compare)
+
 let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
     technique =
   let kb = Option.value baseline_kb ~default:ctx.base_kb in
   let key = run_key ctx app technique ~train_inputs ~test_input ~kb in
-  memo ctx ctx.results key (fun () ->
-      match Option.bind ctx.cache (fun c -> Result_cache.find c ~key) with
-      | Some r ->
-          bump_hit ctx;
-          r
-      | None ->
-          if ctx.cache <> None then bump_miss ctx;
-          let t0 = Unix.gettimeofday () in
-          let exec = make_exec ctx app technique ~train_inputs ~kb in
-          let r =
-            Whisper_pipeline.Machine.run ~events:ctx.ev
-              ~source:(source ctx app ~input:test_input)
-              ~predict:exec ()
-          in
-          let dt = Unix.gettimeofday () -. t0 in
-          Mutex.protect ctx.lock (fun () ->
-              ctx.n_sims <- ctx.n_sims + 1;
-              ctx.sim_seconds <- ctx.sim_seconds +. dt);
-          Option.iter (fun c -> Result_cache.store c ~key r) ctx.cache;
-          r)
+  if Mutex.protect ctx.lock (fun () -> Hashtbl.mem ctx.quarantine key) then
+    degraded_result ()
+  else
+    memo ctx ctx.results key (fun () ->
+        match Option.bind ctx.cache (fun c -> Result_cache.find c ~key) with
+        | Some r ->
+            bump_hit ctx;
+            r
+        | None ->
+            if ctx.cache <> None then bump_miss ctx;
+            let t0 = Unix.gettimeofday () in
+            let exec = make_exec ctx app technique ~train_inputs ~kb in
+            let r =
+              Whisper_pipeline.Machine.run ~events:ctx.ev
+                ~source:(source ctx app ~input:test_input)
+                ~predict:exec ()
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            Mutex.protect ctx.lock (fun () ->
+                ctx.n_sims <- ctx.n_sims + 1;
+                ctx.sim_seconds <- ctx.sim_seconds +. dt);
+            Option.iter (fun c -> Result_cache.store c ~key r) ctx.cache;
+            r)
 
 (* ------------------------------------------------------------------ *)
 (* Declarative work items and the parallel batch driver               *)
@@ -314,9 +372,55 @@ let dedup ctx works =
       end)
     works
 
+(* Chaos/degraded batch execution: each work item runs under the fault
+   injector and the retry/timeout policy.  Items that exhaust their
+   attempts are quarantined — the batch itself never fails, and callers
+   later reading the item via {!run} get a {!degraded_result}. *)
+let run_phase_degraded ctx works =
+  let arr = Array.of_list works in
+  let task ~attempt w =
+    if attempt > 1 then
+      Mutex.protect ctx.lock (fun () -> ctx.n_retries <- ctx.n_retries + 1);
+    let key = work_key ctx w in
+    let body () = exec_work ctx w in
+    let run_it =
+      match ctx.fault with
+      | None -> body
+      | Some f ->
+          fun () -> Whisper_util.Fault.wrap f ~key:("task/" ^ key) ~attempt body
+    in
+    try run_it ()
+    with e ->
+      Mutex.protect ctx.lock (fun () -> ctx.n_observed <- ctx.n_observed + 1);
+      raise e
+  in
+  Whisper_util.Pool.map_retry ~jobs:ctx.n_jobs ~policy:ctx.policy task arr
+  |> Array.iteri (fun i res ->
+         match res with
+         | Ok () -> ()
+         | Error e ->
+             let key = work_key ctx arr.(i) in
+             let err =
+               Whisper_util.Whisper_error.of_exn ~context:key
+                 Whisper_util.Whisper_error.Task e
+             in
+             (* terminal timeouts never raised inside [task], so they
+                have not been counted as observed yet *)
+             let timed_out =
+               match err.Whisper_util.Whisper_error.kind with
+               | Whisper_util.Whisper_error.Timeout _ -> true
+               | _ -> false
+             in
+             Mutex.protect ctx.lock (fun () ->
+                 if timed_out then ctx.n_observed <- ctx.n_observed + 1;
+                 Hashtbl.replace ctx.quarantine key err))
+
 let run_phase ctx works =
   match works with
   | [] -> ()
+  | works
+    when ctx.fault <> None || ctx.policy <> Whisper_util.Pool.default_policy ->
+      run_phase_degraded ctx works
   | [ w ] -> exec_work ctx w
   | works ->
       Whisper_util.Pool.map ~jobs:ctx.n_jobs (exec_work ctx)
@@ -330,3 +434,26 @@ let run_batch ctx works =
   in
   run_phase ctx (dedup ctx (collects @ implied_collects ctx simulations));
   run_phase ctx simulations
+
+let fault_summary ctx =
+  let injected =
+    match ctx.fault with
+    | None -> 0
+    | Some f -> Whisper_util.Fault.injected f
+  in
+  let cache_write_failures, cache_corrupt_dropped =
+    match ctx.cache with
+    | None -> (0, 0)
+    | Some c ->
+        let k = Result_cache.counters c in
+        (k.Result_cache.write_failures, k.Result_cache.corrupt_dropped)
+  in
+  Mutex.protect ctx.lock (fun () ->
+      {
+        Report.injected;
+        observed = ctx.n_observed;
+        retries = ctx.n_retries;
+        quarantined = Hashtbl.length ctx.quarantine;
+        cache_write_failures;
+        cache_corrupt_dropped;
+      })

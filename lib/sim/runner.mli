@@ -33,11 +33,33 @@ type ctx
     on a [ctx] are safe to call from multiple pool workers. *)
 
 val create_ctx :
-  ?events:int -> ?baseline_kb:int -> ?jobs:int -> ?cache_dir:string -> unit ->
+  ?events:int ->
+  ?baseline_kb:int ->
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?faults:float ->
+  ?fault_seed:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?hang_s:float ->
+  unit ->
   ctx
 (** Defaults: 1.2 M branch events per simulation, 64 KB baseline, one
     worker domain, no persistent cache.  [cache_dir] enables the on-disk
-    result cache rooted at that directory (created if missing). *)
+    result cache rooted at that directory (created if missing).
+
+    Chaos/degraded mode: [faults > 0.0] turns on deterministic fault
+    injection (a {!Whisper_util.Fault.t} seeded with [fault_seed],
+    default 42) over batch work items {e and} the persistent cache's
+    read path.  [retries] (default 2) grants each work item
+    [1 + retries] attempts with exponential backoff; [task_timeout]
+    bounds each attempt in seconds (also honoured without faults);
+    [hang_s] is how long an injected hang sleeps.  Work items that
+    exhaust their attempts are quarantined: {!run_batch} still succeeds,
+    and {!run} reports them as degraded (NaN cycle accounts) instead of
+    raising.  All fault decisions are pure functions of
+    [(fault_seed, work key)], so a chaos run is byte-identical across
+    reruns and job counts. *)
 
 val events : ctx -> int
 val set_events : ctx -> int -> unit
@@ -131,4 +153,17 @@ val collect :
 val run_batch : ctx -> work list -> unit
 (** Execute every distinct work item, in parallel when [jobs ctx > 1].
     A task's exception is captured by the pool (other tasks complete)
-    and re-raised here afterwards. *)
+    and re-raised here afterwards — except in chaos/degraded mode
+    (see {!create_ctx}), where failing items are retried per policy and
+    quarantined instead of raising. *)
+
+(** {2 Degraded-mode accounting} *)
+
+val quarantined : ctx -> (string * Whisper_util.Whisper_error.t) list
+(** Work items that exhausted their retry budget, with the final typed
+    error each one died with, sorted by key. *)
+
+val fault_summary : ctx -> Report.faults
+(** Cumulative chaos counters since [create_ctx] (monotone — snapshot
+    before/after an experiment for per-experiment deltas, like
+    {!stats}). *)

@@ -36,13 +36,17 @@ let to_bytes (p : Profile.t) =
     cands;
   Binio.Writer.contents w
 
-let of_bytes data =
+let of_bytes_exn data =
   let r = Binio.Reader.create data in
   Binio.Reader.magic r tag;
+  let voff = Binio.Reader.pos r in
   let v = Binio.Reader.varint r in
   if v <> format_version then
-    failwith (Printf.sprintf "Profile_io: unsupported version %d" v);
-  let n_lengths = Binio.Reader.varint r in
+    Whisper_error.raise_error ~offset:voff Whisper_error.Profile_io
+      (Whisper_error.Version_mismatch { got = v; expected = format_version });
+  (* element counts are validated against the remaining input, so a
+     corrupt count can never drive a giant allocation or decode loop *)
+  let n_lengths = Binio.Reader.count r in
   let lengths = Array.init n_lengths (fun _ -> Binio.Reader.varint r) in
   let total_instrs = Binio.Reader.varint r in
   let total_branches = Binio.Reader.varint r in
@@ -50,7 +54,7 @@ let of_bytes data =
   let p = Profile.create_empty ~lengths () in
   Profile.set_totals p ~instrs:total_instrs ~branches:total_branches
     ~mispred:total_mispred;
-  let n_stats = Binio.Reader.varint r in
+  let n_stats = Binio.Reader.count r in
   for _ = 1 to n_stats do
     let pc = Binio.Reader.varint r in
     let execs = Binio.Reader.varint r in
@@ -58,10 +62,10 @@ let of_bytes data =
     let mispred = Binio.Reader.varint r in
     Profile.restore_stat p ~pc ~execs ~taken_cnt ~mispred
   done;
-  let n_cands = Binio.Reader.varint r in
+  let n_cands = Binio.Reader.count r in
   for _ = 1 to n_cands do
     let pc = Binio.Reader.varint r in
-    let n = Binio.Reader.varint r in
+    let n = Binio.Reader.count r in
     for _ = 1 to n do
       let raw8 = Binio.Reader.byte r in
       let raw56 = Binio.Reader.varint r in
@@ -71,7 +75,19 @@ let of_bytes data =
         ~correct:(flags land 2 = 2)
     done
   done;
+  if not (Binio.Reader.eof r) then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r)
+      Whisper_error.Profile_io Whisper_error.Trailing_bytes;
   p
 
+let of_bytes data =
+  Whisper_error.protect Whisper_error.Profile_io (fun () -> of_bytes_exn data)
+
 let save p ~path = Binio.to_file path (to_bytes p)
-let load ~path = of_bytes (Binio.of_file path)
+
+let load ~path =
+  Whisper_error.protect ~context:path Whisper_error.Profile_io (fun () ->
+      of_bytes_exn (Binio.of_file path))
+
+let load_exn ~path =
+  match load ~path with Ok p -> p | Error e -> raise (Whisper_error.Error e)

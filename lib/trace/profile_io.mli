@@ -1,12 +1,26 @@
 (** Binary persistence for profiles — the artifact a production fleet
     ships from its profiling hosts to the offline analysis machines
-    (paper Fig. 10, the arrow between steps 1 and 2). *)
+    (paper Fig. 10, the arrow between steps 1 and 2).
+
+    Decoding is {e total}: a truncated, bit-flipped or version-skewed
+    file yields a typed {!Whisper_util.Whisper_error.t} (with the byte
+    offset of the corruption), never an uncaught exception — one bad
+    host in the fleet must not kill a whole analysis batch. *)
 
 val to_bytes : Profile.t -> bytes
-val of_bytes : bytes -> Profile.t
-(** @raise Failure on corrupt or mismatched input. *)
+
+val of_bytes : bytes -> (Profile.t, Whisper_util.Whisper_error.t) result
+
+val of_bytes_exn : bytes -> Profile.t
+(** @raise Whisper_error.Error on corrupt or mismatched input. *)
 
 val save : Profile.t -> path:string -> unit
-val load : path:string -> Profile.t
+
+val load : path:string -> (Profile.t, Whisper_util.Whisper_error.t) result
+(** Missing file, unreadable file and corrupt contents all come back as
+    [Error] with [path] as context. *)
+
+val load_exn : path:string -> Profile.t
+(** @raise Whisper_error.Error on any failure. *)
 
 val format_version : int

@@ -34,20 +34,29 @@ module Writer = struct
   let contents t = Bytes.sub t.buf 0 t.len
 end
 
+module E = Whisper_util.Whisper_error
+
+let err ?offset ?context kind = E.raise_error ?offset ?context E.Pt_codec kind
+
 module Reader = struct
   type t = { buf : bytes; mutable pos : int }
 
   let create buf = { buf; pos = 0 }
 
-  let byte t =
-    if t.pos >= Bytes.length t.buf then failwith "Pt_codec: truncated stream";
+  let byte ?context t =
+    if t.pos >= Bytes.length t.buf then err ~offset:t.pos ?context E.Truncated;
     let b = Char.code (Bytes.get t.buf t.pos) in
     t.pos <- t.pos + 1;
     b
 
-  let varint t =
+  (* Same 62-bit guard as {!Binio.Reader.varint}: a malicious run of
+     continuation bytes is a typed error, not an undefined shift. *)
+  let varint ?context t =
     let rec go shift acc =
-      let b = byte t in
+      let off = t.pos in
+      let b = byte ?context t in
+      if shift = 56 && b > 0x3F then
+        err ~offset:off ?context E.Varint_overflow;
       let acc = acc lor ((b land 0x7F) lsl shift) in
       if b land 0x80 = 0 then acc else go (shift + 7) acc
     in
@@ -146,11 +155,16 @@ let encode ~cfg events =
   Writer.byte w tag_end;
   Writer.contents w
 
-let decode ~cfg buf =
+let decode_exn ~cfg buf =
   let r = Reader.create buf in
+  let n_blocks = Array.length cfg.Cfg.blocks in
   let out = ref [] in
   let cur = ref (-1) in
-  let emit taken succ =
+  let emit ~packet_off ~context taken succ =
+    if !cur < 0 || !cur >= n_blocks then
+      err ~offset:packet_off ~context (E.Out_of_range "current block");
+    if succ < 0 || succ >= n_blocks then
+      err ~offset:packet_off ~context (E.Out_of_range "successor block");
     let b = cfg.Cfg.blocks.(!cur) in
     out :=
       {
@@ -166,43 +180,56 @@ let decode ~cfg buf =
   let rec loop pending =
     (* [pending] holds a taken-bit waiting for a TIP to resolve its
        successor (the branch ended a function). *)
+    let packet_off = r.Reader.pos in
     let tag = Reader.byte r in
     if tag = tag_end then begin
       match pending with
-      | Some _ -> failwith "Pt_codec: dangling function-end branch"
+      | Some _ ->
+          err ~offset:packet_off ~context:"END"
+            (E.Malformed "dangling function-end branch")
       | None -> ()
     end
     else if tag = tag_tip then begin
-      let target = Reader.varint r in
-      if target < 0 || target >= Array.length cfg.Cfg.blocks then
-        failwith "Pt_codec: TIP out of range";
+      let target = Reader.varint ~context:"TIP" r in
+      if target >= n_blocks then
+        err ~offset:packet_off ~context:"TIP" (E.Out_of_range "TIP target");
       (match pending with
-      | Some taken -> emit taken target
+      | Some taken -> emit ~packet_off ~context:"TIP" taken target
       | None -> cur := target);
       loop None
     end
     else if tag = tag_tnt then begin
-      if pending <> None then failwith "Pt_codec: TNT while TIP expected";
-      let count = Reader.byte r in
+      if pending <> None then
+        err ~offset:packet_off ~context:"TNT"
+          (E.Malformed "TNT while TIP expected");
+      let count = Reader.byte ~context:"TNT" r in
       let bytes_needed = (count + 7) / 8 in
-      let bitmap = Array.init bytes_needed (fun _ -> Reader.byte r) in
+      let bitmap = Array.init bytes_needed (fun _ -> Reader.byte ~context:"TNT" r) in
+      if count > 0 && !cur < 0 then
+        err ~offset:packet_off ~context:"TNT" (E.Malformed "TNT before any TIP");
       let carried = ref None in
       for i = 0 to count - 1 do
-        if !carried <> None then failwith "Pt_codec: TNT crosses function end";
+        if !carried <> None then
+          err ~offset:packet_off ~context:"TNT"
+            (E.Malformed "TNT crosses function end");
         let taken = (bitmap.(i / 8) lsr (i mod 8)) land 1 = 1 in
         let blk = cfg.Cfg.blocks.(!cur) in
-        if taken && blk.Cfg.loop_back then emit taken !cur
+        if taken && blk.Cfg.loop_back then emit ~packet_off ~context:"TNT" taken !cur
         else if is_last_in_func cfg !cur then
           (* successor comes from the next TIP packet *)
           carried := Some taken
-        else emit taken (!cur + 1)
+        else emit ~packet_off ~context:"TNT" taken (!cur + 1)
       done;
       loop !carried
     end
-    else failwith "Pt_codec: unknown packet tag"
+    else
+      err ~offset:packet_off
+        (E.Malformed (Printf.sprintf "unknown packet tag 0x%02X" tag))
   in
   loop None;
   Array.of_list (List.rev !out)
+
+let decode ~cfg buf = E.protect E.Pt_codec (fun () -> decode_exn ~cfg buf)
 
 let compression_ratio ~cfg events =
   if Array.length events = 0 then 0.0

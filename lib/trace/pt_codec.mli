@@ -20,8 +20,16 @@ val encode : cfg:Cfg.t -> Branch.event array -> bytes
     function ends); events produced by {!App_model} always do.
     @raise Invalid_argument on an inconsistent walk. *)
 
-val decode : cfg:Cfg.t -> bytes -> Branch.event array
-(** Inverse of {!encode}.  @raise Failure on a corrupt stream. *)
+val decode :
+  cfg:Cfg.t -> bytes -> (Branch.event array, Whisper_util.Whisper_error.t) result
+(** Inverse of {!encode}.  Total: a corrupt stream (truncated packet,
+    out-of-range TIP, malicious varint, unknown tag…) yields [Error]
+    carrying the byte offset and packet kind — never an exception.
+    This is the fleet-ingestion entry point. *)
+
+val decode_exn : cfg:Cfg.t -> bytes -> Branch.event array
+(** Like {!decode} for callers on trusted input (self-checks, tests).
+    @raise Whisper_error.Error on a corrupt stream. *)
 
 val compression_ratio : cfg:Cfg.t -> Branch.event array -> float
 (** Encoded bytes per branch event (PT achieves ≈ 1 bit/branch; ours is

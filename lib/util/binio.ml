@@ -54,16 +54,24 @@ module Reader = struct
 
   let create buf = { buf; p = 0 }
 
+  let err ?offset kind = Whisper_error.raise_error ?offset Whisper_error.Binio kind
+
   let byte t =
-    if t.p >= Bytes.length t.buf then failwith "Binio: truncated input";
+    if t.p >= Bytes.length t.buf then err ~offset:t.p Whisper_error.Truncated;
     let b = Char.code (Bytes.get t.buf t.p) in
     t.p <- t.p + 1;
     b
 
+  (* A 62-bit non-negative int is at most 9 LEB128 bytes, the last of
+     which carries 6 payload bits and no continuation.  A malicious
+     stream of continuation bytes is rejected (with the offset of the
+     offending byte) before any shift reaches undefined [lsl] range or
+     flips the result negative. *)
   let varint t =
     let rec go shift acc =
-      if shift > 62 then failwith "Binio: varint overflow";
+      let off = t.p in
       let b = byte t in
+      if shift = 56 && b > 0x3F then err ~offset:off Whisper_error.Varint_overflow;
       let acc = acc lor ((b land 0x7F) lsl shift) in
       if b land 0x80 = 0 then acc else go (shift + 7) acc
     in
@@ -73,9 +81,19 @@ module Reader = struct
     let v = varint t in
     (v lsr 1) lxor (-(v land 1))
 
-  let bytes t =
+  let remaining t = Bytes.length t.buf - t.p
+
+  let count ?(per_elem = 1) t =
+    let off = t.p in
     let n = varint t in
-    if t.p + n > Bytes.length t.buf then failwith "Binio: truncated bytes";
+    if per_elem > 0 && n > remaining t / per_elem then
+      err ~offset:off (Whisper_error.Count_overflow { count = n; remaining = remaining t });
+    n
+
+  let bytes t =
+    let off = t.p in
+    let n = varint t in
+    if n > remaining t then err ~offset:off Whisper_error.Truncated;
     let b = Bytes.sub t.buf t.p n in
     t.p <- t.p + n;
     b
@@ -90,10 +108,11 @@ module Reader = struct
     Int64.float_of_bits !v
 
   let magic t s =
+    let off = t.p in
     String.iter
       (fun c ->
         if byte t <> Char.code c then
-          failwith (Printf.sprintf "Binio: bad magic, expected %S" s))
+          err ~offset:off (Whisper_error.Bad_magic s))
       s
 
   let eof t = t.p >= Bytes.length t.buf

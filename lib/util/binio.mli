@@ -1,6 +1,7 @@
 (** Minimal binary serialization helpers (growable writer / bounds-checked
     reader with LEB128 varints), shared by the PT-like trace codec and the
-    profile / hint-plan file formats. *)
+    profile / hint-plan file formats.  Reader-side corruption is reported
+    through {!Whisper_error} with byte offsets. *)
 
 module Writer : sig
   type t
@@ -28,16 +29,37 @@ end
 module Reader : sig
   type t
 
+  (** Every read primitive raises {!Whisper_error.Error} (stage
+      [Binio], with the byte offset of the offending input) on
+      truncated, overflowing or mismatched data — never a bare
+      [Failure] and never an out-of-bounds access.  Decoder facades
+      wrap whole reads in {!Whisper_error.protect} to become total. *)
+
   val create : bytes -> t
   val byte : t -> int
+
   val varint : t -> int
+  (** Rejects varints with more than 62 payload bits (e.g. a malicious
+      run of continuation bytes) with [Varint_overflow] at the
+      offending byte's offset; the result is always non-negative. *)
+
   val zigzag : t -> int
   val bytes : t -> bytes
   val string : t -> string
   val float64 : t -> float
 
+  val remaining : t -> int
+  (** Bytes left to read. *)
+
+  val count : ?per_elem:int -> t -> int
+  (** Read an element count and reject it with [Count_overflow] unless
+      [count * per_elem] (default [per_elem = 1], a lower bound for any
+      element) can still fit in the remaining input — so corrupt counts
+      can never drive giant allocations or long decode loops. *)
+
   val magic : t -> string -> unit
-  (** Consume and verify tag bytes.  @raise Failure on mismatch. *)
+  (** Consume and verify tag bytes.
+      @raise Whisper_error.Error with [Bad_magic] on mismatch. *)
 
   val eof : t -> bool
   val pos : t -> int

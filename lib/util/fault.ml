@@ -1,0 +1,103 @@
+type op = Truncate | Bit_flip | Byte_drop | Version_skew | Delay | Hang
+
+type decision = Pass | Inject of op
+
+type t = {
+  seed : int;
+  rate : float;
+  hang_s : float;
+  delay_s : float;
+  n_injected : int Atomic.t;
+}
+
+let create ?(seed = 42) ?(hang_s = 2.0) ?(delay_s = 0.02) ~rate () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Fault.create: rate";
+  { seed; rate; hang_s; delay_s; n_injected = Atomic.make 0 }
+
+let seed t = t.seed
+let rate t = t.rate
+let injected t = Atomic.get t.n_injected
+let mark t = Atomic.incr t.n_injected
+
+let op_name = function
+  | Truncate -> "truncate"
+  | Bit_flip -> "bit-flip"
+  | Byte_drop -> "byte-drop"
+  | Version_skew -> "version-skew"
+  | Delay -> "delay"
+  | Hang -> "hang"
+
+let ops = [| Truncate; Bit_flip; Byte_drop; Version_skew; Delay; Hang |]
+
+(* Pure function of (seed, key): [Hashtbl.hash] of a string is stable
+   across runs and domains, so the same key always draws the same
+   verdict regardless of scheduling. *)
+let rng_of t ~key = Rng.create (t.seed lxor (Hashtbl.hash key * 0x9E3779B1))
+
+let decision t ~key =
+  if t.rate <= 0.0 then Pass
+  else
+    let rng = rng_of t ~key in
+    if Rng.float rng 1.0 < t.rate then Inject (Rng.choose rng ops) else Pass
+
+let corrupt t ~key b =
+  match decision t ~key with
+  | Pass | Inject (Delay | Hang) -> b
+  | Inject op ->
+      mark t;
+      let rng = rng_of t ~key in
+      (* burn the draws [decision] made so operator parameters are
+         independent of the verdict draw *)
+      ignore (Rng.float rng 1.0);
+      ignore (Rng.int rng (Array.length ops));
+      let len = Bytes.length b in
+      if len = 0 then b
+      else begin
+        match op with
+        | Truncate -> Bytes.sub b 0 (Rng.int rng len)
+        | Bit_flip ->
+            let b = Bytes.copy b in
+            let bit = Rng.int rng (len * 8) in
+            let i = bit / 8 in
+            Bytes.set b i
+              (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+            b
+        | Byte_drop ->
+            let i = Rng.int rng len in
+            let out = Bytes.create (len - 1) in
+            Bytes.blit b 0 out 0 i;
+            Bytes.blit b (i + 1) out i (len - 1 - i);
+            out
+        | Version_skew ->
+            (* our formats carry a varint version right after a 4-byte
+               magic; nudging that byte models a producer/consumer skew *)
+            let b = Bytes.copy b in
+            let i = min 4 (len - 1) in
+            Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + 1) land 0x7F));
+            b
+        | Delay | Hang -> assert false
+      end
+
+let wrap t ~key ~attempt f =
+  match decision t ~key with
+  | Pass -> f ()
+  | Inject ((Truncate | Bit_flip | Byte_drop | Version_skew) as op) ->
+      mark t;
+      Whisper_error.raise_error ~context:key Whisper_error.Injected
+        (Whisper_error.Malformed (Printf.sprintf "injected %s fault" (op_name op)))
+  | Inject Delay ->
+      mark t;
+      Unix.sleepf t.delay_s;
+      f ()
+  | Inject Hang ->
+      if attempt = 1 then begin
+        mark t;
+        (* wedge the worker, then fail.  Whether the pool's per-task
+           timeout gave up on this attempt first is a wall-clock race,
+           but the attempt's outcome (one failure, one retry) is not —
+           which keeps chaos-run counters reproducible. *)
+        Unix.sleepf t.hang_s;
+        Whisper_error.raise_error ~context:key Whisper_error.Injected
+          (Whisper_error.Malformed "injected hang fault")
+      end
+      else f ()

@@ -1,0 +1,57 @@
+(** Deterministic fault injection for chaos-testing the ingestion and
+    execution pipeline.
+
+    Every decision is a pure function of [(seed, key)] — never of call
+    order, wall clock or domain id — so a chaos run is reproducible and
+    identical across job counts ([-j1] == [-j4]).  Six operators model
+    the faults a profile-collection fleet actually ships:
+
+    - {b byte operators} (corrupt a [bytes] artifact): truncate,
+      bit-flip, byte-drop, version-skew;
+    - {b task operators} (perturb a running work item): delay (short,
+      recoverable sleep) and hang (a wedged worker — sleeps long enough
+      to trip the pool's per-task timeout on the first attempt, then
+      behaves on retry).
+
+    Byte-style faults applied to a task are {e persistent}: every
+    attempt raises a typed {!Whisper_error.t} with stage [Injected],
+    modelling a corrupt artifact that stays corrupt on re-read.  Timing
+    faults are {e transient}: a retry succeeds.  This split is what the
+    runner's retry/quarantine policy is exercised against. *)
+
+type op = Truncate | Bit_flip | Byte_drop | Version_skew | Delay | Hang
+
+type decision = Pass | Inject of op
+
+type t
+
+val create :
+  ?seed:int -> ?hang_s:float -> ?delay_s:float -> rate:float -> unit -> t
+(** [create ~rate ()] injects a fault with probability [rate] per key.
+    Defaults: [seed = 42], [hang_s = 2.0] (sleep of an injected hang;
+    set it above the pool's per-task timeout so the timeout fires
+    first), [delay_s = 0.02]. *)
+
+val seed : t -> int
+val rate : t -> float
+
+val injected : t -> int
+(** Faults acted on so far (cross-domain safe). *)
+
+val op_name : op -> string
+
+val decision : t -> key:string -> decision
+(** The deterministic verdict for [key]. *)
+
+val corrupt : t -> key:string -> bytes -> bytes
+(** Apply the byte operator chosen for [key], if any ([Delay]/[Hang]
+    leave bytes untouched).  The result is deliberately malformed input
+    for a decoder — never a crash vector. *)
+
+val wrap : t -> key:string -> attempt:int -> (unit -> 'a) -> 'a
+(** Run a task under the fault chosen for [key]: byte-style faults
+    raise a typed [Injected] error on every attempt; [Delay] sleeps
+    then runs; [Hang] sleeps [hang_s] and then fails on [attempt = 1]
+    (so the first attempt's outcome does not depend on whether the
+    pool's timeout won the race against the sleep), and runs normally
+    on retries. *)

@@ -96,6 +96,24 @@ let await fut =
   Mutex.unlock fut.fut_lock;
   r
 
+(* [Condition] has no timed wait, so a bounded await polls the future's
+   state on a short period.  The poll interval (1 ms) is negligible
+   against both simulation run times and any sane timeout. *)
+let await_timeout fut ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec poll () =
+    let state = Mutex.protect fut.fut_lock (fun () -> fut.state) in
+    match state with
+    | Done r -> Some r
+    | Pending ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          Unix.sleepf 0.001;
+          poll ()
+        end
+  in
+  poll ()
+
 let shutdown t =
   Mutex.lock t.lock;
   t.closing <- true;
@@ -105,6 +123,61 @@ let shutdown t =
   t.workers <- [];
   Mutex.unlock t.lock;
   List.iter Domain.join workers
+
+type policy = { attempts : int; timeout_s : float option; backoff_s : float }
+
+let default_policy = { attempts = 1; timeout_s = None; backoff_s = 0.05 }
+
+let timeout_error ~seconds =
+  Whisper_error.Error
+    (Whisper_error.make Whisper_error.Task (Whisper_error.Timeout seconds))
+
+let map_retry ?jobs ~policy f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let attempts = max 1 policy.attempts in
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    (* with a timeout policy, abandoned attempts park on their workers
+       until they finish on their own — keep the full requested width so
+       a retry is not starved behind the very hang it recovers from *)
+    let jobs = if policy.timeout_s = None then min jobs n else jobs in
+    let pool = create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () ->
+        let futures =
+          Array.map (fun x -> submit pool (fun () -> f ~attempt:1 x)) xs
+        in
+        let await_one fut =
+          match policy.timeout_s with
+          | None -> Some (await fut)
+          | Some seconds -> await_timeout fut ~seconds
+        in
+        Array.mapi
+          (fun i fut0 ->
+            let rec attempt k fut =
+              let outcome =
+                match await_one fut with
+                | Some r -> r
+                | None ->
+                    (* the timed-out task keeps running on its worker
+                       (domains cannot be cancelled); the slot is retried
+                       or given up independently of it *)
+                    Error (timeout_error ~seconds:(Option.get policy.timeout_s))
+              in
+              match outcome with
+              | Ok _ as ok -> ok
+              | Error _ as e when k >= attempts -> e
+              | Error _ ->
+                  if policy.backoff_s > 0.0 then
+                    Unix.sleepf (policy.backoff_s *. float_of_int (1 lsl (k - 1)));
+                  attempt (k + 1)
+                    (submit pool (fun () -> f ~attempt:(k + 1) xs.(i)))
+            in
+            attempt 1 fut0)
+          futures)
+  end
 
 let map ?jobs f xs =
   let n = Array.length xs in

@@ -31,6 +31,11 @@ val submit : t -> (unit -> 'a) -> 'a future
 val await : 'a future -> ('a, exn) result
 (** Block until the task has run; [Error e] if it raised [e]. *)
 
+val await_timeout : 'a future -> seconds:float -> ('a, exn) result option
+(** Like {!await} but bounded: [None] if the task has not finished
+    within [seconds].  The task itself keeps running on its worker
+    (domains cannot be cancelled); only the wait gives up. *)
+
 val shutdown : t -> unit
 (** Drain the queue, then join every worker.  Idempotent. *)
 
@@ -39,3 +44,36 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
     is the outcome of [f xs.(i)].  With [jobs <= 1] (default
     {!default_jobs}) the calls run sequentially in the caller's domain;
     either way per-element exceptions are captured, not raised. *)
+
+(** {2 Timeouts and retries}
+
+    The degraded-mode batch driver runs each work item under a bounded
+    per-task timeout and a retry-with-exponential-backoff policy, so a
+    wedged or crashing task delays its own slot instead of stalling the
+    whole run. *)
+
+type policy = {
+  attempts : int;  (** total tries per element, >= 1 *)
+  timeout_s : float option;  (** per-attempt wall budget; [None] = unbounded *)
+  backoff_s : float;
+      (** sleep before retry [k] is [backoff_s * 2^(k-2)] seconds *)
+}
+
+val default_policy : policy
+(** One attempt, no timeout, 50 ms base backoff — i.e. plain {!map}
+    semantics. *)
+
+val map_retry :
+  ?jobs:int ->
+  policy:policy ->
+  (attempt:int -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** Order-preserving parallel map with per-element retries: element [i]
+    is tried up to [policy.attempts] times ([f ~attempt:k xs.(i)], [k]
+    starting at 1), each attempt bounded by [policy.timeout_s].  A
+    timed-out attempt surfaces as [Error (Whisper_error.Error _)] with
+    kind [Timeout]; the abandoned task keeps its worker busy until it
+    finishes on its own, while other elements proceed on the remaining
+    workers.  All first attempts are enqueued up front, so elements run
+    concurrently; retries are scheduled as their predecessors resolve. *)

@@ -1,0 +1,81 @@
+type stage =
+  | Binio
+  | Pt_codec
+  | Profile_io
+  | Plan_io
+  | Result_cache
+  | Task
+  | Injected
+
+type kind =
+  | Truncated
+  | Bad_magic of string
+  | Version_mismatch of { got : int; expected : int }
+  | Varint_overflow
+  | Out_of_range of string
+  | Key_mismatch
+  | Trailing_bytes
+  | Count_overflow of { count : int; remaining : int }
+  | Malformed of string
+  | Timeout of float
+
+type t = {
+  stage : stage;
+  kind : kind;
+  offset : int option;
+  context : string option;
+}
+
+exception Error of t
+
+let make ?offset ?context stage kind = { stage; kind; offset; context }
+
+let raise_error ?offset ?context stage kind =
+  raise (Error (make ?offset ?context stage kind))
+
+let stage_name = function
+  | Binio -> "binio"
+  | Pt_codec -> "pt-codec"
+  | Profile_io -> "profile-io"
+  | Plan_io -> "plan-io"
+  | Result_cache -> "result-cache"
+  | Task -> "task"
+  | Injected -> "injected"
+
+let kind_to_string = function
+  | Truncated -> "truncated input"
+  | Bad_magic s -> Printf.sprintf "bad magic (expected %S)" s
+  | Version_mismatch { got; expected } ->
+      Printf.sprintf "version mismatch (got %d, expected %d)" got expected
+  | Varint_overflow -> "varint overflow (more than 62 bits)"
+  | Out_of_range what -> Printf.sprintf "%s out of range" what
+  | Key_mismatch -> "key mismatch"
+  | Trailing_bytes -> "trailing bytes"
+  | Count_overflow { count; remaining } ->
+      Printf.sprintf "count %d exceeds %d remaining input bytes" count remaining
+  | Malformed what -> what
+  | Timeout s -> Printf.sprintf "timed out after %.2fs" s
+
+let to_string e =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (stage_name e.stage);
+  Buffer.add_string b ": ";
+  Buffer.add_string b (kind_to_string e.kind);
+  Option.iter (fun o -> Buffer.add_string b (Printf.sprintf " at byte %d" o)) e.offset;
+  Option.iter (fun c -> Buffer.add_string b (Printf.sprintf " [%s]" c)) e.context;
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Whisper_error.Error: " ^ to_string e)
+    | _ -> None)
+
+let of_exn ?context stage = function
+  | Error e ->
+      if e.context = None && context <> None then { e with context } else e
+  | Failure msg -> make ?context stage (Malformed msg)
+  | Invalid_argument msg -> make ?context stage (Malformed msg)
+  | e -> make ?context stage (Malformed (Printexc.to_string e))
+
+let protect ?context stage f =
+  match f () with v -> Ok v | exception e -> Result.Error (of_exn ?context stage e)

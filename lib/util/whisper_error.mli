@@ -1,0 +1,58 @@
+(** Typed errors for the ingestion and execution pipeline.
+
+    At fleet scale (paper §IV: production hosts ship PT-like traces and
+    per-branch profiles to offline analysis machines), truncated files,
+    bit-flipped packets and version-skewed artifacts are the steady
+    state.  Every decoder in the pipeline reports corruption through
+    this one structured type — carrying the pipeline {!stage}, a
+    machine-readable {!kind}, the byte offset of the offending input and
+    free-form context (packet kind, work-item key) — instead of a bare
+    [Failure], so a corrupt artifact is diagnosable and recoverable
+    rather than fatal. *)
+
+type stage =
+  | Binio  (** the shared binary primitives *)
+  | Pt_codec  (** PT-like trace packets *)
+  | Profile_io  (** profile files shipped from the fleet *)
+  | Plan_io  (** hint-injection plans *)
+  | Result_cache  (** persistent result-cache entries *)
+  | Task  (** a batch work item (simulation / collection) *)
+  | Injected  (** a fault planted by {!Fault} *)
+
+type kind =
+  | Truncated  (** input ends mid-value *)
+  | Bad_magic of string  (** expected tag *)
+  | Version_mismatch of { got : int; expected : int }
+  | Varint_overflow  (** more than 62 bits of varint payload *)
+  | Out_of_range of string  (** named field fails a bounds check *)
+  | Key_mismatch  (** cache entry carries a different key *)
+  | Trailing_bytes  (** well-formed value followed by garbage *)
+  | Count_overflow of { count : int; remaining : int }
+      (** an element count that cannot fit in the remaining input *)
+  | Malformed of string  (** anything else, with a human message *)
+  | Timeout of float  (** task exceeded its per-task budget (seconds) *)
+
+type t = {
+  stage : stage;
+  kind : kind;
+  offset : int option;  (** byte offset into the corrupt stream *)
+  context : string option;  (** packet kind, work-item key, path… *)
+}
+
+exception Error of t
+(** The one exception decoders raise internally; {!protect} turns it
+    (and any stray exception) back into a value. *)
+
+val make : ?offset:int -> ?context:string -> stage -> kind -> t
+val raise_error : ?offset:int -> ?context:string -> stage -> kind -> 'a
+val stage_name : stage -> string
+val to_string : t -> string
+
+val of_exn : ?context:string -> stage -> exn -> t
+(** Typed errors pass through unchanged (gaining [context] if they had
+    none); anything else becomes [Malformed] at [stage]. *)
+
+val protect : ?context:string -> stage -> (unit -> 'a) -> ('a, t) result
+(** [protect stage f] makes [f] total: any exception — typed or not —
+    comes back as [Error].  This is the boundary every decoder facade
+    goes through, so corrupt input can never crash a batch. *)

@@ -1,0 +1,295 @@
+(* Property-based fuzz harness for the ingestion pipeline.
+
+   Every binary decoder in the fleet path (PT traces, profiles,
+   hint-injection plans, result-cache entries) must be total: whatever
+   bytes arrive — truncated, bit-flipped, byte-dropped, version-skewed
+   or plain garbage — decoding yields a typed Whisper_error, never an
+   uncaught exception, a hang or a giant allocation.
+
+   The case count and seed come from the environment so CI can pin a
+   reproducible smoke run:
+     WHISPER_FUZZ_CASES  corruption cases per artifact (default 1000)
+     WHISPER_FUZZ_SEED   RNG seed of the corruption stream (default 61453)
+*)
+
+open Whisper_util
+open Whisper_trace
+
+let cases =
+  match Sys.getenv_opt "WHISPER_FUZZ_CASES" with
+  | Some v -> int_of_string v
+  | None -> 1000
+
+let seed =
+  match Sys.getenv_opt "WHISPER_FUZZ_SEED" with
+  | Some v -> int_of_string v
+  | None -> 0xF00D
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Valid artifacts to corrupt                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_config =
+  {
+    (Option.get (Workloads.by_name "cassandra")) with
+    Workloads.name = "fuzz-app";
+    functions = 4;
+    seed = 99;
+  }
+
+let cfg = Workloads.build_cfg tiny_config
+
+let trace_bytes =
+  let m = App_model.create ~cfg ~config:tiny_config ~input:0 () in
+  Pt_codec.encode ~cfg (Branch.take (App_model.source m) 2_000)
+
+let profile_bytes =
+  let p = Profile.create_empty ~lengths:Workloads.lengths () in
+  let rng = Rng.create 5 in
+  for pc = 1 to 12 do
+    let pc = 0x4000 + (pc * 16) in
+    for _ = 1 to 40 do
+      Profile.record_event p ~pc ~taken:(Rng.bool rng)
+        ~correct:(Rng.bernoulli rng 0.8) ~instrs:8
+    done
+  done;
+  for s = 1 to 20 do
+    Profile.add_sample ~raw56:(s * 977) p ~pc:0x4010 ~raw8:(s land 0xFF)
+      ~hashes:(Array.init 16 (fun i -> (s + i) land 0xFF))
+      ~taken:(s mod 3 = 0) ~correct:(s mod 5 <> 0)
+  done;
+  Profile_io.to_bytes p
+
+let plan_bytes =
+  let open Whisper_core in
+  let placements =
+    List.init 6 (fun i ->
+        {
+          Inject.branch_block = 10 + i;
+          host_block = 3 + i;
+          hint =
+            Brhint.make ~len_idx:(i mod 16) ~formula_id:(i * 321)
+              ~bias:(Brhint.bias_of_code (i mod 4))
+              ~pc_offset:(i * 5);
+          branch_pc = 0x4000 + (i * 64);
+          cond_prob = 0.9;
+        })
+  in
+  let by_host = Hashtbl.create 8 in
+  Plan_io.to_bytes { Inject.placements; by_host; dropped = 1 }
+
+let cache_key = "fuzz/cassandra/whisper/0/1/64/2000"
+
+let cache_bytes =
+  Whisper_sim.Result_cache.encode ~key:cache_key
+    {
+      Whisper_pipeline.Machine.cycles = 4242.5;
+      instrs = 16000;
+      branches = 2000;
+      mispredicts = 77;
+      misp_stall = 900.0;
+      fe_stall = 120.0;
+      btb_stall = 10.0;
+      l1i_misses = 31;
+      exposed_misses = 9;
+      seg_mispredicts = Array.init 10 Fun.id;
+      seg_instrs = Array.init 10 (fun i -> 1600 + i);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Corruption operators (mirrors of the Fault byte operators, driven   *)
+(* by an explicit RNG for breadth)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let corrupt_one rng b =
+  let n = Bytes.length b in
+  match Rng.int rng 5 with
+  | 0 -> Bytes.sub b 0 (Rng.int rng (max 1 n)) (* truncate *)
+  | 1 when n > 0 ->
+      (* bit flip *)
+      let b = Bytes.copy b in
+      let i = Rng.int rng n in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+      b
+  | 2 when n > 1 ->
+      (* byte drop *)
+      let i = Rng.int rng n in
+      Bytes.cat (Bytes.sub b 0 i) (Bytes.sub b (i + 1) (n - i - 1))
+  | 3 when n > 4 ->
+      (* version skew: nudge the varint right after the 4-byte magic *)
+      let b = Bytes.copy b in
+      Bytes.set b 4 (Char.chr ((Char.code (Bytes.get b 4) + 1) land 0xFF));
+      b
+  | _ when n > 0 ->
+      (* random byte overwrite *)
+      let b = Bytes.copy b in
+      Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256));
+      b
+  | _ -> b
+
+(* Each decoder, wrapped so only the totality contract is observed:
+   Some err for a rejected input, None for a (possibly vacuous) Ok. *)
+let decoders =
+  [
+    ( "pt_codec",
+      trace_bytes,
+      fun b ->
+        match Pt_codec.decode ~cfg b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "profile_io",
+      profile_bytes,
+      fun b ->
+        match Profile_io.of_bytes b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "plan_io",
+      plan_bytes,
+      fun b ->
+        (* Plan_io stays exception-based, but only typed errors may
+           escape it *)
+        match Whisper_core.Plan_io.of_bytes b with
+        | _ -> None
+        | exception Whisper_error.Error e ->
+            Some (Whisper_error.to_string e) );
+    ( "result_cache",
+      cache_bytes,
+      fun b ->
+        match Whisper_sim.Result_cache.decode ~key:cache_key b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+  ]
+
+let test_decoders_total () =
+  let rng = Rng.create seed in
+  let rejected = ref 0 and accepted = ref 0 in
+  for case = 1 to cases do
+    List.iter
+      (fun (name, good, decode) ->
+        let bad = corrupt_one rng good in
+        match decode bad with
+        | Some _ -> incr rejected
+        | None -> incr accepted
+        | exception e ->
+            Alcotest.failf "%s raised %s on case %d (seed %d)" name
+              (Printexc.to_string e) case seed)
+      decoders
+  done;
+  (* most corruptions must actually be detected — a fuzzer whose inputs
+     all decode cleanly is testing nothing *)
+  check_bool "most corruptions rejected" true (!rejected * 2 > !accepted);
+  Printf.printf "fuzz: %d cases/decoder, %d rejected, %d accepted, seed %d\n%!"
+    cases !rejected !accepted seed
+
+let test_fuzz_deterministic () =
+  (* the same seed replays the identical corruption stream and the
+     identical decoder verdicts *)
+  let run () =
+    let rng = Rng.create seed in
+    List.concat_map
+      (fun (_, good, decode) ->
+        List.init 50 (fun _ -> decode (corrupt_one rng good)))
+      decoders
+  in
+  check_bool "verdicts replay byte-identically" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial (not random) inputs                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_malicious_varint () =
+  (* 10 continuation bytes claim > 62 bits of payload *)
+  let b = Bytes.make 10 '\xFF' in
+  match Binio.Reader.varint (Binio.Reader.create b) with
+  | _ -> Alcotest.fail "overflowing varint accepted"
+  | exception
+      Whisper_error.Error
+        { kind = Whisper_error.Varint_overflow; offset = Some off; _ } ->
+      check_int "offending byte offset" 8 off
+
+let test_malicious_count () =
+  (* a profile whose sample count points far past the input must be
+     rejected without allocating for it *)
+  let w = Binio.Writer.create () in
+  Binio.Writer.magic w "WPRF";
+  Binio.Writer.varint w 1 (* version *);
+  Binio.Writer.varint w 1_000_000_000 (* lengths count: absurd *);
+  match Profile_io.of_bytes (Binio.Writer.contents w) with
+  | Ok _ -> Alcotest.fail "absurd count accepted"
+  | Error e ->
+      check_bool "typed as count overflow" true
+        (match e.Whisper_error.kind with
+        | Whisper_error.Count_overflow _ -> true
+        | _ -> false)
+
+let test_fault_operators_deterministic () =
+  (* two injectors with the same seed agree on every decision and every
+     corruption; a different seed disagrees somewhere *)
+  let keys = List.init 200 (Printf.sprintf "work-item-%d") in
+  let mk seed = Whisper_util.Fault.create ~seed ~rate:0.5 () in
+  let f1 = mk 11 and f2 = mk 11 and f3 = mk 12 in
+  check_bool "same seed, same decisions" true
+    (List.for_all
+       (fun key ->
+         Whisper_util.Fault.decision f1 ~key
+         = Whisper_util.Fault.decision f2 ~key)
+       keys);
+  check_bool "same seed, same corruption" true
+    (List.for_all
+       (fun key ->
+         Whisper_util.Fault.corrupt f1 ~key trace_bytes
+         = Whisper_util.Fault.corrupt f2 ~key trace_bytes)
+       keys);
+  check_bool "different seed differs somewhere" true
+    (List.exists
+       (fun key ->
+         Whisper_util.Fault.decision f1 ~key
+         <> Whisper_util.Fault.decision f3 ~key)
+       keys);
+  (* roughly rate-many keys are hit (binomial, wide tolerance) *)
+  let hit =
+    List.length
+      (List.filter
+         (fun key -> Whisper_util.Fault.decision f1 ~key <> Whisper_util.Fault.Pass)
+         keys)
+  in
+  check_bool "injection rate in the right ballpark" true (hit > 50 && hit < 150)
+
+let test_fault_corruption_is_decodable_failure () =
+  (* whatever a byte operator does to an artifact, the decoder's answer
+     is a typed verdict — the injector never produces a crash vector *)
+  let f = Whisper_util.Fault.create ~seed:3 ~rate:1.0 () in
+  List.iteri
+    (fun i (name, good, decode) ->
+      for k = 0 to 99 do
+        let key = Printf.sprintf "%s/%d/%d" name i k in
+        let bad = Whisper_util.Fault.corrupt f ~key good in
+        match decode bad with
+        | Some _ | None -> ()
+        | exception e ->
+            Alcotest.failf "%s raised %s under injected corruption" name
+              (Printexc.to_string e)
+      done)
+    decoders
+
+let () =
+  Alcotest.run "whisper_fuzz"
+    [
+      ( "fuzz",
+        Alcotest.
+          [
+            test_case "decoders are total" `Quick test_decoders_total;
+            test_case "fuzz stream deterministic" `Quick
+              test_fuzz_deterministic;
+            test_case "malicious varint" `Quick test_malicious_varint;
+            test_case "malicious count" `Quick test_malicious_count;
+            test_case "fault injector deterministic" `Quick
+              test_fault_operators_deterministic;
+            test_case "injected corruption decodes to errors" `Quick
+              test_fault_corruption_is_decodable_failure;
+          ] );
+    ]

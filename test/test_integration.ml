@@ -31,7 +31,7 @@ let test_pipeline_with_serialization () =
   let config = app () in
   let cfg = Workloads.build_cfg config in
   let profile = collect_profile config cfg in
-  let profile = Profile_io.of_bytes (Profile_io.to_bytes profile) in
+  let profile = Profile_io.of_bytes_exn (Profile_io.to_bytes profile) in
   let analysis = Analyze.run profile in
   check_bool "hints found" true (Analyze.hint_count analysis > 0);
   let plan =
@@ -119,7 +119,7 @@ let test_profile_from_decoded_trace () =
   let n = 30_000 in
   let live = Branch.take
       (App_model.source (App_model.create ~cfg ~config ~input:0 ())) n in
-  let decoded = Pt_codec.decode ~cfg (Pt_codec.encode ~cfg live) in
+  let decoded = Pt_codec.decode_exn ~cfg (Pt_codec.encode ~cfg live) in
   let collect events_arr =
     let i = ref 0 in
     Profile.collect ~min_mispred:2 ~lengths:Workloads.lengths ~events:n

@@ -40,19 +40,48 @@ let test_binio_bad_magic () =
   let w = Binio.Writer.create () in
   Binio.Writer.magic w "AAAA";
   let r = Binio.Reader.create (Binio.Writer.contents w) in
-  check_bool "mismatch raises" true
+  check_bool "mismatch raises typed error" true
     (try
        Binio.Reader.magic r "BBBB";
        false
-     with Failure _ -> true)
+     with
+    | Whisper_error.Error
+        { kind = Whisper_error.Bad_magic _; stage = Whisper_error.Binio; _ } ->
+        true)
 
 let test_binio_truncated () =
   let r = Binio.Reader.create (Bytes.of_string "\x80") in
-  check_bool "truncated varint raises" true
+  check_bool "truncated varint raises typed error" true
     (try
        ignore (Binio.Reader.varint r);
        false
-     with Failure _ -> true)
+     with Whisper_error.Error { kind = Whisper_error.Truncated; _ } -> true)
+
+let test_binio_varint_overflow () =
+  (* ten continuation bytes encode more than 62 bits: a malicious varint
+     must be rejected at its offending byte, not wrap around *)
+  let r = Binio.Reader.create (Bytes.make 10 '\xFF') in
+  check_bool "overflow raises typed error at offset" true
+    (try
+       ignore (Binio.Reader.varint r);
+       false
+     with
+    | Whisper_error.Error
+        { kind = Whisper_error.Varint_overflow; offset = Some off; _ } ->
+        off = 8)
+
+let test_binio_count_overflow () =
+  (* a count field larger than the remaining input must be rejected
+     before it drives an allocation *)
+  let w = Binio.Writer.create () in
+  Binio.Writer.varint w 1_000_000;
+  let r = Binio.Reader.create (Binio.Writer.contents w) in
+  check_bool "oversized count raises typed error" true
+    (try
+       ignore (Binio.Reader.count r);
+       false
+     with Whisper_error.Error { kind = Whisper_error.Count_overflow _; _ } ->
+       true)
 
 let test_binio_negative_varint () =
   let w = Binio.Writer.create () in
@@ -109,7 +138,7 @@ let make_profile () =
 
 let test_profile_roundtrip () =
   let p = make_profile () in
-  let q = Profile_io.of_bytes (Profile_io.to_bytes p) in
+  let q = Profile_io.of_bytes_exn (Profile_io.to_bytes p) in
   check_int "total branches" (Profile.total_branches p) (Profile.total_branches q);
   check_int "total instrs" (Profile.total_instrs p) (Profile.total_instrs q);
   check_int "total mispred" (Profile.total_mispred p) (Profile.total_mispred q);
@@ -141,20 +170,41 @@ let test_profile_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Profile_io.save p ~path;
-      let q = Profile_io.load ~path in
+      let q = Profile_io.load_exn ~path in
       check_int "branches" (Profile.total_branches p) (Profile.total_branches q))
 
 let test_profile_corrupt () =
-  check_bool "bad magic raises" true
-    (try
-       ignore (Profile_io.of_bytes (Bytes.of_string "XXXX\x01"));
-       false
-     with Failure _ -> true)
+  (match Profile_io.of_bytes (Bytes.of_string "XXXX\x01") with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error e ->
+      check_bool "typed as bad magic" true
+        (match e.Whisper_error.kind with
+        | Whisper_error.Bad_magic _ -> true
+        | _ -> false);
+      (* the error keeps the stage that detected it — here the binio
+         layer, reached through the profile decoder *)
+      check_bool "detected at the binio layer" true
+        (e.Whisper_error.stage = Whisper_error.Binio));
+  (* decoding is total: every truncation of a valid stream is an Error,
+     never an uncaught exception *)
+  let good = Profile_io.to_bytes (make_profile ()) in
+  for cut = 0 to min 200 (Bytes.length good - 1) do
+    match Profile_io.of_bytes (Bytes.sub good 0 cut) with
+    | Ok _ -> Alcotest.failf "truncation at %d accepted" cut
+    | Error _ -> ()
+  done
+
+let test_profile_load_missing () =
+  match Profile_io.load ~path:"/nonexistent/whisper.wprf" with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error e ->
+      check_bool "context is the path" true
+        (e.Whisper_error.context = Some "/nonexistent/whisper.wprf")
 
 let test_profile_roundtrip_usable_for_analysis () =
   (* a deserialized profile must drive the analysis identically *)
   let p = make_profile () in
-  let q = Profile_io.of_bytes (Profile_io.to_bytes p) in
+  let q = Profile_io.of_bytes_exn (Profile_io.to_bytes p) in
   let a1 = Whisper_core.Analyze.run p in
   let a2 = Whisper_core.Analyze.run q in
   check_int "same hints"
@@ -235,6 +285,8 @@ let () =
             test_case "primitives" `Quick test_binio_primitives;
             test_case "bad magic" `Quick test_binio_bad_magic;
             test_case "truncated" `Quick test_binio_truncated;
+            test_case "varint overflow" `Quick test_binio_varint_overflow;
+            test_case "count overflow" `Quick test_binio_count_overflow;
             test_case "negative varint" `Quick test_binio_negative_varint;
             test_case "file roundtrip" `Quick test_binio_file_roundtrip;
           ]
@@ -245,6 +297,7 @@ let () =
             test_case "roundtrip" `Quick test_profile_roundtrip;
             test_case "file roundtrip" `Quick test_profile_file_roundtrip;
             test_case "corrupt" `Quick test_profile_corrupt;
+            test_case "missing file" `Quick test_profile_load_missing;
             test_case "drives analysis" `Quick test_profile_roundtrip_usable_for_analysis;
           ] );
       ( "plan_io",

@@ -78,6 +78,88 @@ let test_pool_submit_await () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Pool: timeouts and retries                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_await_timeout () =
+  let pool = Whisper_util.Pool.create ~jobs:1 () in
+  let slow =
+    Whisper_util.Pool.submit pool (fun () ->
+        Unix.sleepf 0.25;
+        7)
+  in
+  check_bool "still running" true
+    (Whisper_util.Pool.await_timeout slow ~seconds:0.02 = None);
+  (match Whisper_util.Pool.await_timeout slow ~seconds:5.0 with
+  | Some (Ok 7) -> ()
+  | _ -> Alcotest.fail "slow task should finish within the long wait");
+  Whisper_util.Pool.shutdown pool
+
+let test_pool_retry_transient () =
+  (* every element fails its first attempt; the retry succeeds *)
+  let policy =
+    { Whisper_util.Pool.default_policy with attempts = 3; backoff_s = 0.001 }
+  in
+  let ys =
+    Whisper_util.Pool.map_retry ~jobs:2 ~policy
+      (fun ~attempt x -> if attempt = 1 then failwith "flaky" else x * 10)
+      (Array.init 8 Fun.id)
+  in
+  Array.iteri (fun i r -> check_int "recovered on retry" (i * 10) (ok r)) ys
+
+let test_pool_retry_exhausted () =
+  let tries = Atomic.make 0 in
+  let policy =
+    { Whisper_util.Pool.default_policy with attempts = 3; backoff_s = 0.001 }
+  in
+  let ys =
+    Whisper_util.Pool.map_retry ~jobs:2 ~policy
+      (fun ~attempt:_ _ ->
+        Atomic.incr tries;
+        failwith "always broken")
+      [| 0 |]
+  in
+  check_int "exactly [attempts] tries" 3 (Atomic.get tries);
+  check_bool "final outcome is the task's error" true
+    (match ys.(0) with Error (Failure _) -> true | _ -> false)
+
+let test_pool_hung_task_recovers () =
+  (* a deliberately hung first attempt trips the per-task timeout; the
+     retry answers promptly and wins *)
+  let policy =
+    { Whisper_util.Pool.attempts = 2; timeout_s = Some 0.05; backoff_s = 0.001 }
+  in
+  let ys =
+    Whisper_util.Pool.map_retry ~jobs:2 ~policy
+      (fun ~attempt x ->
+        if attempt = 1 then Unix.sleepf 0.4;
+        x + 1)
+      [| 41 |]
+  in
+  check_int "recovered after hang" 42 (ok ys.(0))
+
+let test_pool_hung_task_times_out () =
+  (* a task that hangs on every attempt surfaces as a typed Timeout *)
+  let policy =
+    { Whisper_util.Pool.attempts = 2; timeout_s = Some 0.03; backoff_s = 0.001 }
+  in
+  let ys =
+    Whisper_util.Pool.map_retry ~jobs:1 ~policy
+      (fun ~attempt:_ () -> Unix.sleepf 0.2)
+      [| () |]
+  in
+  match ys.(0) with
+  | Error
+      (Whisper_util.Whisper_error.Error
+        {
+          kind = Whisper_util.Whisper_error.Timeout _;
+          stage = Whisper_util.Whisper_error.Task;
+          _;
+        }) ->
+      ()
+  | _ -> Alcotest.fail "expected a typed Task/Timeout error"
+
+(* ------------------------------------------------------------------ *)
 (* Result cache                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -126,11 +208,50 @@ let test_cache_key_mismatch () =
   let r = sample_result () in
   let b = Result_cache.encode ~key:"key-a" r in
   check_bool "decode under the written key" true
-    (Result_cache.decode ~key:"key-a" b = r);
-  check_bool "decode under another key fails" true
+    (Result_cache.decode ~key:"key-a" b = Ok r);
+  check_bool "decode under another key fails typed" true
     (match Result_cache.decode ~key:"key-b" b with
-    | exception Failure _ -> true
-    | _ -> false)
+    | Error e -> e.Whisper_util.Whisper_error.kind = Whisper_util.Whisper_error.Key_mismatch
+    | Ok _ -> false)
+
+let test_cache_counters () =
+  let dir = "_test_cache_counters" in
+  let c = Result_cache.create ~dir () in
+  let key = "counter-key" in
+  Result_cache.store c ~key (sample_result ());
+  let file = Result_cache.path c ~key in
+  let oc = open_out_bin file in
+  output_string oc "WRSCgarbage";
+  close_out oc;
+  check_bool "corrupt entry is a miss" true (Result_cache.find c ~key = None);
+  check_int "corrupt drop counted" 1
+    (Result_cache.counters c).Result_cache.corrupt_dropped;
+  check_int "no write failures yet" 0
+    (Result_cache.counters c).Result_cache.write_failures;
+  (* replace the cache directory with a plain file: every subsequent
+     write must fail, be swallowed, and be counted *)
+  let wf_dir = "_test_cache_wf" in
+  let c2 = Result_cache.create ~dir:wf_dir () in
+  Unix.rmdir wf_dir;
+  let oc = open_out wf_dir in
+  close_out oc;
+  Result_cache.store c2 ~key:"k" (sample_result ());
+  Result_cache.store c2 ~key:"k2" (sample_result ());
+  check_int "write failures counted" 2
+    (Result_cache.counters c2).Result_cache.write_failures;
+  Sys.remove wf_dir
+
+let test_cache_corrupt_hook () =
+  (* the fault-injection read hook makes every entry decode-fail *)
+  let c =
+    Result_cache.create
+      ~corrupt:(fun ~key:_ b -> Bytes.sub b 0 (Bytes.length b / 2))
+      ~dir:"_test_cache_hook" ()
+  in
+  Result_cache.store c ~key:"k" (sample_result ());
+  check_bool "hook-corrupted read is a miss" true
+    (Result_cache.find c ~key:"k" = None);
+  check_int "counted" 1 (Result_cache.counters c).Result_cache.corrupt_dropped
 
 (* ------------------------------------------------------------------ *)
 (* Runner: parallel determinism and warm-cache reruns                 *)
@@ -209,6 +330,100 @@ let test_report_timing_line () =
   check_bool "csv excludes timing" true
     (Report.to_csv r = Report.to_csv { r with Report.timing = None })
 
+(* ------------------------------------------------------------------ *)
+(* Chaos mode: fault injection, degradation, determinism              *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  scan 0
+
+let test_report_faults_line () =
+  let f =
+    {
+      Report.injected = 5;
+      observed = 7;
+      retries = 4;
+      quarantined = 2;
+      cache_write_failures = 1;
+      cache_corrupt_dropped = 3;
+    }
+  in
+  check_string "format"
+    "faults: injected=5 observed=7 retries=4 quarantined=2 cache-write-fail=1 \
+     cache-corrupt-drop=3"
+    (Report.faults_line f);
+  let r =
+    Report.with_faults f
+      (Report.make ~id:"figX" ~title:"t" ~header:[ "app"; "a" ]
+         [ ("x", [ 1.0 ]); ("y", [ Float.nan ]) ])
+  in
+  let s = Report.to_string r in
+  check_bool "faults line printed" true (contains s "faults: injected=5");
+  check_bool "nan cells render as DEGRADED" true (contains s "DEGRADED");
+  check_bool "csv excludes faults" true
+    (Report.to_csv r = Report.to_csv { r with Report.faults = None })
+
+let chaos_ctx ~jobs ?(faults = 0.5) ?(fault_seed = 7) () =
+  Runner.create_ctx ~events:det_events ~jobs ~faults ~fault_seed ~retries:1
+    ~hang_s:0.05 ()
+
+let test_chaos_determinism () =
+  (* same fault seed → byte-identical table and identical quarantine,
+     whatever the job count *)
+  let seq = chaos_ctx ~jobs:1 () in
+  let par = chaos_ctx ~jobs:4 () in
+  let a = Experiments.fig1 seq in
+  let b = Experiments.fig1 par in
+  check_string "chaos fig1 byte-identical across job counts"
+    (Report.to_csv a) (Report.to_csv b);
+  check_bool "identical quarantine" true
+    (Runner.quarantined seq = Runner.quarantined par);
+  let fs = Runner.fault_summary seq in
+  let fp = Runner.fault_summary par in
+  check_bool "faults were actually injected" true (fs.Report.injected > 0);
+  check_bool "identical fault summaries" true (fs = fp)
+
+let test_chaos_degrades_not_aborts () =
+  let ctx =
+    Runner.create_ctx ~events:det_events ~jobs:2 ~faults:1.0 ~fault_seed:1
+      ~retries:0 ~hang_s:0.02 ()
+  in
+  (* rate 1.0: every work item faulted; persistent byte faults exhaust
+     their single attempt and must degrade, not raise *)
+  let r = Experiments.fig1 ctx in
+  let q = Runner.quarantined ctx in
+  check_bool "some work quarantined" true (q <> []);
+  check_bool "quarantined errors are typed Injected" true
+    (List.exists
+       (fun (_, e) ->
+         e.Whisper_util.Whisper_error.stage = Whisper_util.Whisper_error.Injected)
+       q);
+  check_bool "table renders DEGRADED rows" true
+    (contains (Report.to_string r) "DEGRADED");
+  let f = Runner.fault_summary ctx in
+  check_bool "summary counts quarantine" true
+    (f.Report.quarantined = List.length q && f.Report.observed > 0)
+
+let test_no_faults_means_no_degradation () =
+  let ctx = Runner.create_ctx ~events:det_events ~jobs:2 ~faults:0.0 () in
+  let r = Experiments.fig1 ctx in
+  check_bool "no quarantine" true (Runner.quarantined ctx = []);
+  let f = Runner.fault_summary ctx in
+  check_bool "all counters zero" true
+    (f
+    = {
+        Report.injected = 0;
+        observed = 0;
+        retries = 0;
+        quarantined = 0;
+        cache_write_failures = 0;
+        cache_corrupt_dropped = 0;
+      });
+  check_bool "no DEGRADED rows" true
+    (not (contains (Report.to_string r) "DEGRADED"))
+
 let () =
   Alcotest.run "whisper_runner"
     [
@@ -219,6 +434,11 @@ let () =
             test_case "map matches sequential" `Quick test_pool_map_matches_sequential;
             test_case "exception isolated" `Quick test_pool_exception_isolated;
             test_case "submit/await/shutdown" `Quick test_pool_submit_await;
+            test_case "await timeout" `Quick test_pool_await_timeout;
+            test_case "retry transient" `Quick test_pool_retry_transient;
+            test_case "retry exhausted" `Quick test_pool_retry_exhausted;
+            test_case "hung task recovers" `Quick test_pool_hung_task_recovers;
+            test_case "hung task times out" `Quick test_pool_hung_task_times_out;
           ] );
       ( "result-cache",
         Alcotest.
@@ -226,6 +446,8 @@ let () =
             test_case "round trip" `Quick test_cache_roundtrip;
             test_case "corrupt recovery" `Quick test_cache_corrupt_recovery;
             test_case "key mismatch" `Quick test_cache_key_mismatch;
+            test_case "degradation counters" `Quick test_cache_counters;
+            test_case "corrupt read hook" `Quick test_cache_corrupt_hook;
           ] );
       ( "runner",
         Alcotest.
@@ -234,5 +456,16 @@ let () =
             test_case "run_batch dedups" `Quick test_run_batch_dedups;
             test_case "warm cache rerun" `Quick test_warm_cache_rerun;
             test_case "report timing line" `Quick test_report_timing_line;
+          ] );
+      ( "chaos",
+        Alcotest.
+          [
+            test_case "report faults line" `Quick test_report_faults_line;
+            test_case "determinism across job counts" `Quick
+              test_chaos_determinism;
+            test_case "degrades instead of aborting" `Quick
+              test_chaos_degrades_not_aborts;
+            test_case "faults off = clean run" `Quick
+              test_no_faults_means_no_degradation;
           ] );
     ]

@@ -329,12 +329,12 @@ let test_codec_roundtrip () =
   let cfg = Workloads.build_cfg config in
   let m = App_model.create ~cfg ~config ~input:0 () in
   let events = Branch.take (App_model.source m) 3000 in
-  let decoded = Pt_codec.decode ~cfg (Pt_codec.encode ~cfg events) in
+  let decoded = Pt_codec.decode_exn ~cfg (Pt_codec.encode ~cfg events) in
   Alcotest.(check (array event_testable)) "roundtrip" events decoded
 
 let test_codec_empty () =
   let cfg = Workloads.build_cfg (tiny_config ()) in
-  let decoded = Pt_codec.decode ~cfg (Pt_codec.encode ~cfg [||]) in
+  let decoded = Pt_codec.decode_exn ~cfg (Pt_codec.encode ~cfg [||]) in
   check_int "empty" 0 (Array.length decoded)
 
 let test_codec_compact () =
@@ -346,12 +346,27 @@ let test_codec_compact () =
   check_bool "under 2 bytes per branch" true (ratio < 2.0)
 
 let test_codec_corrupt () =
+  (* decoding is total: corrupt input comes back as a typed Error with
+     the stage and byte offset of the fault, never an exception *)
   let cfg = Workloads.build_cfg (tiny_config ()) in
-  Alcotest.(check bool) "corrupt raises" true
-    (try
-       ignore (Pt_codec.decode ~cfg (Bytes.of_string "\xFF\xFF"));
-       false
-     with Failure _ -> true)
+  (match Pt_codec.decode ~cfg (Bytes.of_string "\xFF\xFF") with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error e ->
+      check_bool "stage is pt_codec" true
+        (e.Whisper_error.stage = Whisper_error.Pt_codec));
+  (* every truncation of a valid stream is rejected the same way *)
+  let config = tiny_config ~functions:4 () in
+  let cfg = Workloads.build_cfg config in
+  let m = App_model.create ~cfg ~config ~input:0 () in
+  let good = Pt_codec.encode ~cfg (Branch.take (App_model.source m) 500) in
+  for cut = 1 to min 100 (Bytes.length good - 1) do
+    match Pt_codec.decode ~cfg (Bytes.sub good 0 cut) with
+    | Error _ -> ()
+    | Ok events ->
+        (* a prefix of packets can decode cleanly; it must then be a
+           prefix of the original event stream, not garbage *)
+        check_bool "clean prefix" true (Array.length events <= 500)
+  done
 
 let qcheck_codec_roundtrip =
   QCheck.Test.make ~name:"codec roundtrip for random lengths" ~count:30
@@ -361,7 +376,7 @@ let qcheck_codec_roundtrip =
       let cfg = Workloads.build_cfg config in
       let m = App_model.create ~cfg ~config ~input:0 () in
       let events = Branch.take (App_model.source m) n in
-      Pt_codec.decode ~cfg (Pt_codec.encode ~cfg events) = events)
+      Pt_codec.decode_exn ~cfg (Pt_codec.encode ~cfg events) = events)
 
 (* ------------------------------------------------------------------ *)
 (* Profile                                                            *)
