@@ -137,6 +137,291 @@ let run_micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: search-engine benchmark (BENCH_search.json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the bit-parallel Algorithm-1 engine against the retained naive
+   reference path on a real datacenter profile, checks the two agree on
+   every branch, and writes the numbers to a machine-readable JSON file
+   so the perf trajectory is tracked across PRs.
+
+   Extra environment:
+     WHISPER_BENCH_SMOKE  short mode for CI (small trace, short timing
+                          windows)
+     WHISPER_BENCH_OUT    output path (default BENCH_search.json) *)
+
+(* ns per call of [f], timed over an adaptively grown repetition count so
+   short-running closures still get a stable window. *)
+let time_ns ?(min_s = 0.2) f =
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < min_s then go (reps * 4)
+    else 1e9 *. dt /. float_of_int reps
+  in
+  go 1
+
+let search_bench () =
+  let smoke = Sys.getenv_opt "WHISPER_BENCH_SMOKE" <> None in
+  let n_events = if smoke then 120_000 else min events 600_000 in
+  let min_s = if smoke then 0.05 else 0.3 in
+  Printf.printf "== search-engine benchmark (cassandra, %d events%s) ==\n%!"
+    n_events
+    (if smoke then ", smoke mode" else "");
+  let app = Option.get (Workloads.by_name "cassandra") in
+  let ctx = Whisper_sim.Runner.create_ctx ~events:n_events ~baseline_kb:64 () in
+  let profile = Whisper_sim.Runner.profile ctx app in
+  let config = Whisper_core.Config.default in
+  let rnd = Whisper_core.Randomized.create config in
+  let cands = Whisper_core.Randomized.candidates rnd in
+  let packed = Whisper_core.Randomized.packed_candidates rnd in
+  let nc = Array.length cands in
+  let pcs = Profile.candidates profile in
+  let n_pcs = Array.length pcs in
+  (* --- scoring primitives, on the hottest branch's mid-length tables *)
+  let taken = Array.make 256 0 and not_taken = Array.make 256 0 in
+  Profile.iter_samples profile ~pc:pcs.(0)
+    ~f:(fun ~raw8:_ ~raw56:_ ~hash ~taken:tk ~correct:_ ->
+      let k = hash (config.n_lengths / 2) in
+      if tk then taken.(k) <- taken.(k) + 1
+      else not_taken.(k) <- not_taken.(k) + 1);
+  let tables = Whisper_core.Algorithm1.tables_of_counts ~taken ~not_taken in
+  let truths = Array.map (Whisper_core.Randomized.truth_of rnd) cands in
+  let sink = ref 0 in
+  let fnc = float_of_int nc in
+  let naive_score_ns =
+    time_ns ~min_s (fun () ->
+        for i = 0 to nc - 1 do
+          sink :=
+            !sink + Whisper_core.Algorithm1.mispredictions tables ~truth:truths.(i)
+        done)
+    /. fnc
+  in
+  let packed_score_ns =
+    time_ns ~min_s (fun () ->
+        for i = 0 to nc - 1 do
+          sink :=
+            !sink
+            + Whisper_core.Algorithm1.mispredictions_packed tables
+                ~ptruth:packed.(i)
+        done)
+    /. fnc
+  in
+  (* --- full formula search, aggregated over every candidate branch's
+     mid-length tables: one number per engine for the whole profile's
+     search workload rather than a single cherry-picked branch *)
+  let fn_pcs = float_of_int (max 1 n_pcs) in
+  let mid = config.Whisper_core.Config.n_lengths / 2 in
+  let all_tables =
+    Array.map
+      (fun pc ->
+        Array.fill taken 0 256 0;
+        Array.fill not_taken 0 256 0;
+        Profile.iter_samples profile ~pc
+          ~f:(fun ~raw8:_ ~raw56:_ ~hash ~taken:tk ~correct:_ ->
+            let k = hash mid in
+            if tk then taken.(k) <- taken.(k) + 1
+            else not_taken.(k) <- not_taken.(k) + 1);
+        Whisper_core.Algorithm1.tables_of_counts ~taken ~not_taken)
+      pcs
+  in
+  let find_ns =
+    time_ns ~min_s (fun () ->
+        Array.iter
+          (fun t ->
+            ignore
+              (Whisper_core.Algorithm1.find t ~candidates:cands
+                 ~truth_of:(Whisper_core.Randomized.truth_of rnd)))
+          all_tables)
+    /. fn_pcs
+  in
+  let find_packed_ns =
+    time_ns ~min_s (fun () ->
+        Array.iter
+          (fun t ->
+            ignore
+              (Whisper_core.Algorithm1.find_packed t ~candidates:cands ~packed))
+          all_tables)
+    /. fn_pcs
+  in
+  (* --- the complete per-branch formula search: all history lengths of
+     every candidate branch, identical prebuilt tables on both sides.
+     The naive reference scores every candidate at every length exactly
+     as the seed pipeline did; the packed engine threads the running
+     best across lengths ([find_packed_below]) so its floor entry check
+     and suffix bound can abandon hopeless lengths and candidates —
+     winners are asserted identical *)
+  let nl = config.Whisper_core.Config.n_lengths in
+  let length_tables =
+    Array.map
+      (fun pc ->
+        Array.init nl (fun l ->
+            Array.fill taken 0 256 0;
+            Array.fill not_taken 0 256 0;
+            Profile.iter_samples profile ~pc
+              ~f:(fun ~raw8:_ ~raw56:_ ~hash ~taken:tk ~correct:_ ->
+                let k = hash l in
+                if tk then taken.(k) <- taken.(k) + 1
+                else not_taken.(k) <- not_taken.(k) + 1);
+            Whisper_core.Algorithm1.tables_of_counts ~taken ~not_taken))
+      pcs
+  in
+  let search_naive tl =
+    let best_l = ref (-1) and best_f = ref (-1) and best_m = ref max_int in
+    for l = 0 to nl - 1 do
+      let f, m =
+        Whisper_core.Algorithm1.find tl.(l) ~candidates:cands
+          ~truth_of:(Whisper_core.Randomized.truth_of rnd)
+      in
+      if m < !best_m then begin
+        best_m := m;
+        best_l := l;
+        best_f := f
+      end
+    done;
+    (!best_l, !best_f, !best_m)
+  in
+  let search_packed tl =
+    let best_l = ref (-1) and best_f = ref (-1) and best_m = ref max_int in
+    for l = 0 to nl - 1 do
+      match
+        Whisper_core.Algorithm1.find_packed_below tl.(l) ~candidates:cands
+          ~packed ~cutoff:!best_m
+      with
+      | Some (_, f, m) ->
+          best_m := m;
+          best_l := l;
+          best_f := f
+      | None -> ()
+    done;
+    (!best_l, !best_f, !best_m)
+  in
+  Array.iter
+    (fun tl ->
+      if search_naive tl <> search_packed tl then
+        failwith "packed search disagrees with naive search")
+    length_tables;
+  let search_naive_ns =
+    time_ns ~min_s (fun () ->
+        Array.iter (fun tl -> ignore (search_naive tl)) length_tables)
+    /. fn_pcs
+  in
+  let search_packed_ns =
+    time_ns ~min_s (fun () ->
+        Array.iter (fun tl -> ignore (search_packed tl)) length_tables)
+    /. fn_pcs
+  in
+  let tree = Whisper_core.Randomized.tree_of rnd cands.(0) in
+  let tt_build_ns =
+    time_ns ~min_s (fun () -> ignore (Whisper_formula.Tree.truth_table tree))
+  in
+  let packed_build_ns =
+    time_ns ~min_s (fun () ->
+        ignore (Whisper_formula.Tree.packed_truth_table tree))
+  in
+  (* --- end-to-end per-branch search, optimized vs naive reference *)
+  let scratch = Whisper_core.History_select.scratch config in
+  Array.iter
+    (fun pc ->
+      let opt = Whisper_core.History_select.decide ~scratch config rnd profile ~pc in
+      let ref_ = Whisper_core.History_select.Reference.decide config rnd profile ~pc in
+      if opt <> ref_ then
+        failwith (Printf.sprintf "optimized decide disagrees at pc=0x%x" pc))
+    pcs;
+  let decide_ref_ns =
+    time_ns ~min_s (fun () ->
+        Array.iter
+          (fun pc ->
+            ignore
+              (Whisper_core.History_select.Reference.decide config rnd profile
+                 ~pc))
+          pcs)
+    /. fn_pcs
+  in
+  let decide_opt_ns =
+    time_ns ~min_s (fun () ->
+        Array.iter
+          (fun pc ->
+            ignore
+              (Whisper_core.History_select.decide ~scratch config rnd profile ~pc))
+          pcs)
+    /. fn_pcs
+  in
+  (* --- whole-profile analysis throughput, sequential and parallel *)
+  let a1 = Whisper_core.Analyze.run ~config ~jobs:1 profile in
+  let aj = Whisper_core.Analyze.run ~config ~jobs profile in
+  if a1.Whisper_core.Analyze.decisions <> aj.Whisper_core.Analyze.decisions then
+    failwith "parallel analysis disagrees with sequential";
+  let hints = Whisper_core.Analyze.hint_count a1 in
+  let hps (a : Whisper_core.Analyze.t) =
+    float_of_int (Whisper_core.Analyze.hint_count a)
+    /. max 1e-9 a.Whisper_core.Analyze.training_seconds
+  in
+  let scorer_speedup = naive_score_ns /. packed_score_ns in
+  let find_speedup = find_ns /. find_packed_ns in
+  let search_speedup = search_naive_ns /. search_packed_ns in
+  let decide_speedup = decide_ref_ns /. decide_opt_ns in
+  let parallel_speedup =
+    a1.Whisper_core.Analyze.training_seconds
+    /. max 1e-9 aj.Whisper_core.Analyze.training_seconds
+  in
+  Printf.printf "  mispredictions     %8.1f -> %7.1f ns/op  (%.1fx)\n"
+    naive_score_ns packed_score_ns scorer_speedup;
+  Printf.printf "  find (%d cands, %d pcs) %8.1f -> %7.1f ns/call  (%.1fx)\n" nc
+    n_pcs find_ns find_packed_ns find_speedup;
+  Printf.printf "  search (%d lengths)  %8.1f -> %7.1f ns/pc  (%.1fx)\n" nl
+    search_naive_ns search_packed_ns search_speedup;
+  Printf.printf "  truth-table build  %8.1f -> %7.1f ns/op  (%.1fx)\n"
+    tt_build_ns packed_build_ns (tt_build_ns /. packed_build_ns);
+  Printf.printf "  decide (%d pcs)   %8.1f -> %7.1f ns/op  (%.1fx)\n" n_pcs
+    decide_ref_ns decide_opt_ns decide_speedup;
+  Printf.printf "  analysis           %d hints, %.0f hints/s (j1), %.0f hints/s (j%d, %.1fx)\n%!"
+    hints (hps a1) (hps aj) jobs parallel_speedup;
+  let out = Option.value ~default:"BENCH_search.json"
+      (Sys.getenv_opt "WHISPER_BENCH_OUT")
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "app": "cassandra",
+  "events": %d,
+  "smoke": %b,
+  "candidate_branches": %d,
+  "candidate_formulas": %d,
+  "mispredictions_ns": %.2f,
+  "mispredictions_packed_ns": %.2f,
+  "scorer_speedup": %.2f,
+  "find_ns": %.1f,
+  "find_packed_ns": %.1f,
+  "find_speedup": %.2f,
+  "search_naive_ns": %.1f,
+  "search_packed_ns": %.1f,
+  "search_speedup": %.2f,
+  "truth_table_build_ns": %.1f,
+  "packed_truth_table_build_ns": %.1f,
+  "decide_reference_ns": %.1f,
+  "decide_optimized_ns": %.1f,
+  "decide_speedup": %.2f,
+  "hints": %d,
+  "hints_per_sec_j1": %.1f,
+  "hints_per_sec_jn": %.1f,
+  "jobs": %d,
+  "parallel_speedup": %.2f
+}
+|}
+    n_events smoke n_pcs nc naive_score_ns packed_score_ns scorer_speedup
+    find_ns find_packed_ns find_speedup search_naive_ns search_packed_ns
+    search_speedup tt_build_ns packed_build_ns
+    decide_ref_ns decide_opt_ns decide_speedup hints (hps a1) (hps aj) jobs
+    parallel_speedup;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out;
+  ignore !sink
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: ablation benches                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -244,7 +529,12 @@ let hintbuf_ablation ctx =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  if Sys.getenv_opt "WHISPER_SEARCH_BENCH_ONLY" <> None then begin
+    search_bench ();
+    exit 0
+  end;
   if Sys.getenv_opt "WHISPER_SKIP_MICRO" = None then run_micro ();
+  search_bench ();
   Printf.printf
     "\n== paper tables & figures (%d events per run, %d jobs%s) ==\n\n%!"
     events jobs

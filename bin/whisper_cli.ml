@@ -237,19 +237,19 @@ let analyze_cmd =
       & info [ "save-plan" ] ~docv:"FILE"
           ~doc:"Write the hint-injection plan (the 'updated binary')")
   in
-  let run app events kb load save_plan =
+  let run app events kb load save_plan jobs =
     let app = find_app app in
     let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
     let analysis =
       match load with
       | Some path -> (
           match Profile_io.load ~path with
-          | Ok p -> Whisper_core.Analyze.run p
+          | Ok p -> Whisper_core.Analyze.run ~jobs p
           | Error e ->
               Printf.eprintf "error: %s\n"
                 (Whisper_util.Whisper_error.to_string e);
               exit 1)
-      | None -> Whisper_sim.Runner.whisper_analysis ctx app
+      | None -> Whisper_sim.Runner.whisper_analysis ~jobs ctx app
     in
     Option.iter
       (fun path ->
@@ -287,7 +287,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run Whisper's offline branch analysis")
     Term.(
       const run $ app_arg $ events_arg 1_200_000 $ kb_arg $ load_arg
-      $ save_plan_arg)
+      $ save_plan_arg $ jobs_arg)
 
 let trace_cmd =
   let out_arg =

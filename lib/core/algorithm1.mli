@@ -4,22 +4,105 @@
     hashed histories, values are profile sample counts — find, among a
     candidate set of formulas, the one that mispredicts the fewest
     samples: a formula [f] mispredicts every taken sample whose key does
-    not satisfy [f] plus every not-taken sample whose key does. *)
+    not satisfy [f] plus every not-taken sample whose key does.
+
+    Two scoring engines coexist.  The {e packed} engine
+    ({!mispredictions_packed} / {!find_packed}) scores against bitset
+    truth tables ({!Whisper_formula.Tree.packed_truth_table}) using the
+    identity [m = t_total - sum over satisfied keys of (t_k - nt_k)] over
+    a compact per-key delta array — keys with [t_k = nt_k] drop out of
+    the sum entirely and are never visited — prunes candidates through a
+    sorted-by-|delta| suffix bound, and stops the candidate scan
+    outright once some candidate reaches the irreducible floor
+    [sum min(t_k, nt_k)] that no formula can beat.  All of it
+    bit-identical to the naive engine, an order of magnitude faster.  The {e naive} engine
+    ({!mispredictions} / {!find}) walks [Bytes] truth tables one key at a
+    time; it is retained as the differential-testing oracle and the
+    benchmark reference. *)
 
 type tables
 (** Compacted (key, taken-count, not-taken-count) triples for one branch
-    at one history length. *)
+    at one history length, plus the derived delta array and pruning
+    bounds.  Tables from {!tables_of_counts} and {!builder_finish} own
+    their storage and are immutable; tables from
+    {!tables_of_cells_below} are views into the scratch, valid only
+    until its next build. *)
+
+(** {1 Building tables} *)
+
+type scratch
+(** Reusable workspace for table construction: one allocation serves any
+    number of sequential builds (the finished {!tables} owns its own
+    exactly-sized arrays).  Not safe to share across domains — give each
+    worker its own. *)
+
+val scratch : ?max_keys:int -> unit -> scratch
+(** Workspace for up to [max_keys] (default 256) distinct keys. *)
 
 val tables_of_counts : taken:int array -> not_taken:int array -> tables
-(** Build from dense per-key count arrays (length [2^hash_bits]). *)
+(** Build from dense per-key count arrays (length [2^hash_bits]) in a
+    single fused pass: key filtering, totals and compaction happen
+    together. *)
+
+val tables_of_counts_into :
+  scratch -> taken:int array -> not_taken:int array -> tables
+(** Like {!tables_of_counts}, but building through a caller-provided
+    {!scratch} to avoid the internal workspace allocation. *)
+
+(** {2 Incremental building}
+
+    For callers that already hold per-key counts in another layout (the
+    single-pass profile tabulation packs four counters per word), the
+    builder interface skips the dense intermediate arrays entirely:
+    [builder_reset], then [builder_add] once per distinct key, then
+    [builder_finish]. *)
+
+val builder_reset : scratch -> unit
+
+val builder_add : scratch -> key:int -> taken:int -> not_taken:int -> unit
+(** Keys may arrive in any order but at most once each; counts must be
+    non-negative.  At most [max_keys] calls between resets. *)
+
+val builder_finish : scratch -> tables
+
+val tables_of_cells_below :
+  scratch ->
+  cells:int array ->
+  off:int ->
+  shift:int ->
+  cutoff:int ->
+  tables option
+(** Fused hot-path extraction over 256 packed counter cells:
+    [cells.(off + k)] holds key [k]'s taken count in bits
+    [shift .. shift+15] and not-taken count in bits
+    [shift+16 .. shift+31].  Returns [None] when no key is occupied, or
+    when the irreducible misprediction floor [sum min(t_k, nt_k)] — a
+    lower bound on {e any} formula's score — is at least [cutoff], so the
+    caller can skip the whole candidate scan exactly.  The returned
+    tables are a zero-allocation {e view} into the scratch, invalidated
+    by the scratch's next build — score them before building again.
+    Views serve the packed scorers only: they do not fill the per-key
+    taken/not-taken counts that {!mispredictions} reads (the totals,
+    {!distinct_keys} and both packed scorers are exact).  Requires a
+    scratch built for at least 256 keys. *)
+
+(** {1 Inspecting tables} *)
 
 val tables_total : tables -> int * int
 (** Total (taken, not-taken) sample counts. *)
 
 val distinct_keys : tables -> int
 
+(** {1 Scoring} *)
+
 val mispredictions : tables -> truth:Bytes.t -> int
-(** Mispredictions a formula (given as a truth table over keys) incurs. *)
+(** Mispredictions a formula (given as a [Bytes] truth table over keys)
+    incurs.  Naive reference scorer. *)
+
+val mispredictions_packed : tables -> ptruth:int array -> int
+(** Same count, computed branchlessly against a packed bitset truth
+    table.  [ptruth] must cover every key in the tables (8 words for the
+    8-bit hash space; unchecked, like {!Whisper_formula.Tree.eval_tt}). *)
 
 val always_mispredictions : tables -> int
 (** Mispredictions of the always-taken hint (= not-taken samples). *)
@@ -35,3 +118,32 @@ val find :
     candidate with the minimum misprediction count [m'] (ties resolved to
     the earlier candidate, matching the paper's sequential scan).
     @raise Invalid_argument on an empty candidate set. *)
+
+val find_packed :
+  tables ->
+  candidates:int array ->
+  packed:int array array ->
+  int * int * int
+(** [find_packed tables ~candidates ~packed] returns
+    [(index, formula_id, m')] for the winning candidate, where
+    [packed.(i)] is the packed truth table of [candidates.(i)] ([packed]
+    may be longer than [candidates]).  Winner and [m'] are exactly those
+    of {!find}: losing candidates are abandoned through an optimistic
+    suffix bound the moment they provably cannot beat the current best,
+    which never changes the selected formula.
+    @raise Invalid_argument on an empty candidate set or when [packed] is
+    shorter than [candidates]. *)
+
+val find_packed_below :
+  tables ->
+  candidates:int array ->
+  packed:int array array ->
+  cutoff:int ->
+  (int * int * int) option
+(** Like {!find_packed}, but only interested in candidates scoring
+    strictly below [cutoff]: returns [None] when no candidate beats it.
+    Exactly equivalent to running {!find} and discarding a winner with
+    [m' >= cutoff] — callers that already hold a bound (the best choice
+    from other history lengths) let the scorer abandon hopeless
+    candidates after a single bound comparison, or the whole table after
+    one floor comparison. *)

@@ -25,26 +25,62 @@ type t = {
   training_seconds : float;
 }
 
-let run ?(config = Config.default) profile =
+(* [jobs > 1] fans the per-branch searches out over a domain pool in
+   deterministic index slices: each branch's decision is independent of
+   its neighbours, so concatenating slice results back in input order
+   yields exactly the sequential decision list — any [jobs] produces a
+   byte-identical plan.  [rnd]'s candidate ids and packed truth tables
+   are frozen at create and shared read-only across the workers. *)
+let run ?(config = Config.default) ?(jobs = 1) profile =
   let rnd = Randomized.create config in
   let t0 = Unix.gettimeofday () in
   let candidates = Profile.candidates profile in
-  let decisions = ref [] in
-  let taken = ref 0 in
-  Array.iter
-    (fun pc ->
-      if !taken < config.max_hints then
-        match History_select.decide config rnd profile ~pc with
-        | Some choice ->
-            decisions := (pc, choice) :: !decisions;
-            incr taken
-        | None -> ())
-    candidates;
+  let n = Array.length candidates in
+  let decisions =
+    if jobs <= 1 then begin
+      let scratch = History_select.scratch config in
+      let acc = ref [] and taken = ref 0 in
+      Array.iter
+        (fun pc ->
+          if !taken < config.max_hints then
+            match History_select.decide ~scratch config rnd profile ~pc with
+            | Some choice ->
+                acc := (pc, choice) :: !acc;
+                incr taken
+            | None -> ())
+        candidates;
+      List.rev !acc
+    end
+    else begin
+      let decide_slice (lo, hi) =
+        let scratch = History_select.scratch config in
+        let acc = ref [] in
+        for i = hi - 1 downto lo do
+          let pc = candidates.(i) in
+          match History_select.decide ~scratch config rnd profile ~pc with
+          | Some choice -> acc := (pc, choice) :: !acc
+          | None -> ()
+        done;
+        !acc
+      in
+      let slices = Whisper_util.Pool.slices ~n ~chunks:(4 * jobs) in
+      let results = Whisper_util.Pool.map ~jobs decide_slice slices in
+      let all =
+        Array.fold_right
+          (fun r acc ->
+            match r with Ok l -> l @ acc | Error e -> raise e)
+          results []
+      in
+      (* cap exactly like the sequential early exit: the first
+         [max_hints] accepted branches in candidate order *)
+      List.filteri (fun i _ -> i < config.max_hints) all
+    end
+  in
   let training_seconds = Unix.gettimeofday () -. t0 in
   {
     config;
-    decisions = List.rev !decisions;
-    considered = Array.length candidates;
+    decisions;
+    considered = n;
     training_seconds;
   }
 

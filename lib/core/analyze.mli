@@ -24,11 +24,18 @@ type t = {
 
 val run :
   ?config:Config.t ->
+  ?jobs:int ->
   Whisper_trace.Profile.t ->
   t
 (** Analyze every candidate branch of the profile: pick history length
     and formula (Algorithm 1 + randomized testing), keep branches whose
-    formula beats the baseline, capped at [config.max_hints]. *)
+    formula beats the baseline, capped at [config.max_hints].
+
+    [jobs] (default 1) fans the independent per-branch searches out over
+    that many domains; the decision list — and hence any serialized plan —
+    is byte-identical for every job count.  Callers already running
+    inside a domain pool should keep the default to avoid
+    oversubscription. *)
 
 val hint_count : t -> int
 

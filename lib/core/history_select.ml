@@ -43,13 +43,26 @@ let search rnd profile ~pc ~len_idx ~candidates ~part =
     Some (f, m)
 
 let decide_at_length rnd profile ~pc ~len_idx =
-  search rnd profile ~pc ~len_idx ~candidates:(Randomized.candidates rnd)
-    ~part:`All
+  let tables = tables_at profile ~pc ~len_idx ~part:`All in
+  if Algorithm1.distinct_keys tables = 0 then None
+  else
+    let _, f, m =
+      Algorithm1.find_packed tables
+        ~candidates:(Randomized.candidates rnd)
+        ~packed:(Randomized.packed_candidates rnd)
+    in
+    Some (f, m)
 
 let best_possible_at_length rnd profile ~pc ~len_idx ~explore =
-  search rnd profile ~pc ~len_idx
-    ~candidates:(Randomized.candidates_n rnd explore)
-    ~part:`All
+  let tables = tables_at profile ~pc ~len_idx ~part:`All in
+  if Algorithm1.distinct_keys tables = 0 then None
+  else
+    let _, f, m =
+      Algorithm1.find_packed tables
+        ~candidates:(Randomized.candidates_n rnd explore)
+        ~packed:(Randomized.packed_n rnd explore)
+    in
+    Some (f, m)
 
 (* Baseline mispredictions and direction counts over a sample part. *)
 let part_stats profile ~pc ~part =
@@ -70,53 +83,270 @@ let part_stats profile ~pc ~part =
       end);
   (!mispred, !taken, !n)
 
-let decide ?min_gain (cfg : Config.t) rnd profile ~pc =
-  let min_gain = Option.value min_gain ~default:cfg.min_sample_gain in
-  let n_samples = Profile.n_samples profile ~pc in
-  if n_samples < 8 then None
-  else begin
-    (* Select the whole (bias-or-formula, length) choice on the train
-       half, then score only that single winner on the held-out half —
-       any selection on the eval half would re-introduce optimism. *)
-    let _, train_taken, train_n = part_stats profile ~pc ~part:`Train in
-    let train_nt = train_n - train_taken in
-    let best = ref (Brhint.Always_taken, 0, 0, train_nt) in
-    if train_taken < train_nt then best := (Brhint.Never_taken, 0, 0, train_taken);
-    for len_idx = 0 to cfg.n_lengths - 1 do
-      match
-        search rnd profile ~pc ~len_idx
-          ~candidates:(Randomized.candidates rnd)
-          ~part:`Train
-      with
-      | None -> ()
-      | Some (f, train_m) ->
-          let _, _, _, cur = !best in
-          if train_m < cur then best := (Brhint.Formula, len_idx, f, train_m)
+(* The seed implementation of [decide], kept verbatim: it is the oracle
+   the optimized path below is differentially tested against, the
+   benchmark's naive reference, and the fallback for branches whose
+   sample count overflows the packed tabulation counters. *)
+module Reference = struct
+  let decide ?min_gain (cfg : Config.t) rnd profile ~pc =
+    let min_gain = Option.value min_gain ~default:cfg.min_sample_gain in
+    let n_samples = Profile.n_samples profile ~pc in
+    if n_samples < 8 then None
+    else begin
+      (* Select the whole (bias-or-formula, length) choice on the train
+         half, then score only that single winner on the held-out half —
+         any selection on the eval half would re-introduce optimism. *)
+      let _, train_taken, train_n = part_stats profile ~pc ~part:`Train in
+      let train_nt = train_n - train_taken in
+      let best = ref (Brhint.Always_taken, 0, 0, train_nt) in
+      if train_taken < train_nt then
+        best := (Brhint.Never_taken, 0, 0, train_taken);
+      for len_idx = 0 to cfg.n_lengths - 1 do
+        match
+          search rnd profile ~pc ~len_idx
+            ~candidates:(Randomized.candidates rnd)
+            ~part:`Train
+        with
+        | None -> ()
+        | Some (f, train_m) ->
+            let _, _, _, cur = !best in
+            if train_m < cur then best := (Brhint.Formula, len_idx, f, train_m)
+      done;
+      let bias, len_idx, formula_id, _ = !best in
+      let eval_baseline, eval_taken, eval_n = part_stats profile ~pc ~part:`Eval in
+      let eval_m =
+        match bias with
+        | Brhint.Always_taken -> eval_n - eval_taken
+        | Brhint.Never_taken -> eval_taken
+        | Brhint.Dynamic -> eval_baseline
+        | Brhint.Formula ->
+            let eval_tables = tables_at profile ~pc ~len_idx ~part:`Eval in
+            Algorithm1.mispredictions eval_tables
+              ~truth:(Randomized.truth_of rnd formula_id)
+      in
+      (* marginal hints are the ones that regress on unseen inputs: require
+         the win to be a meaningful fraction of the branch's mispredictions *)
+      let required = max min_gain ((eval_baseline + 9) / 10) in
+      if eval_baseline - eval_m >= required then
+        Some
+          {
+            len_idx;
+            formula_id;
+            bias;
+            sample_mispred = eval_m;
+            baseline_mispred = eval_baseline;
+            samples = n_samples;
+          }
+      else None
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Single-pass tabulation + packed search                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The optimized [decide] reads each sample record exactly once: one scan
+   of the raw profile buffer fills all [n_lengths] count tables for both
+   halves at the same time.  Each (length, key) cell packs four 15/16-bit
+   counters into one native int:
+
+     bits  0..15  train taken        bits 32..47  eval taken
+     bits 16..31  train not-taken    bits 48..62  eval not-taken
+
+   The top field has only 15 usable bits in a 63-bit int, so branches
+   with more than 32767 samples take the Reference path instead (profile
+   collection caps samples far below that; the guard is for synthetic
+   profiles). *)
+let max_packed_samples = 32767
+
+(* Stdlib's [Bytes.get_uint16_le] with the bounds check elided — the same
+   compiler primitive the stdlib builds it from.  Native byte order; the
+   caller guards for little-endian hosts. *)
+external unsafe_get_uint16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+
+type scratch = {
+  counts : int array;
+      (* n_lengths x 256 packed counter cells, flattened: length
+         [len_idx]'s cell for key [k] lives at [(len_idx lsl 8) lor k] *)
+  mutable incs : int array;  (* per-sample counter increment, grown on demand *)
+  alg : Algorithm1.scratch;
+}
+
+let scratch (cfg : Config.t) =
+  {
+    counts = Array.make (cfg.n_lengths lsl 8) 0;
+    incs = Array.make 1024 0;
+    alg = Algorithm1.scratch ();
+  }
+
+(* Fill [s.counts] plus per-half baseline stats from the raw sample
+   records.  Counts must be all-zero on entry (the invariant [decide]
+   restores before returning).
+
+   The walk is length-major: one stats pass computes each sample's
+   packed counter increment into [s.incs], then each history length
+   streams the (L1-resident) record buffer against its own 2 KiB row of
+   [counts].  A sample-major walk touches all [nl] rows — the whole 32
+   KiB table — per sample, thrashing L1 on every record. *)
+let tabulate (s : scratch) (v : Profile.raw_view) ~nl =
+  let train_mispred = ref 0
+  and train_taken = ref 0
+  and train_n = ref 0
+  and eval_mispred = ref 0
+  and eval_taken = ref 0
+  and eval_n = ref 0 in
+  let n = v.Profile.n in
+  if Array.length s.incs < n then
+    s.incs <- Array.make (max n (2 * Array.length s.incs)) 0;
+  let incs = s.incs in
+  let counts = s.counts in
+  let rb = v.Profile.record_bytes in
+  let hash_off = v.Profile.hash_off and flags_off = v.Profile.flags_off in
+  let buf = v.Profile.buf in
+  for i = 0 to n - 1 do
+    let flags = Char.code (Bytes.unsafe_get buf ((i * rb) + flags_off)) in
+    let tk = flags land 1 in
+    let train = i land 1 = 0 in
+    if train then begin
+      incr train_n;
+      train_taken := !train_taken + tk;
+      if flags land 2 = 0 then incr train_mispred
+    end
+    else begin
+      incr eval_n;
+      eval_taken := !eval_taken + tk;
+      if flags land 2 = 0 then incr eval_mispred
+    end;
+    Array.unsafe_set incs i (1 lsl (((i land 1) lsl 5) + 16 - (tk lsl 4)))
+  done;
+  let l = ref 0 in
+  if not Sys.big_endian then
+    (* adjacent lengths' hash bytes are adjacent in the record: one
+       16-bit load feeds two rows per sample *)
+    while !l + 1 < nl do
+      let row0 = !l lsl 8 and row1 = (!l + 1) lsl 8 in
+      let pos = ref (hash_off + !l) in
+      let i = ref 0 in
+      (* two samples per iteration: four independent row updates give the
+         out-of-order core something to overlap *)
+      while !i + 1 < n do
+        let k2a = unsafe_get_uint16 buf !pos in
+        let k2b = unsafe_get_uint16 buf (!pos + rb) in
+        pos := !pos + rb + rb;
+        let inca = Array.unsafe_get incs !i in
+        let incb = Array.unsafe_get incs (!i + 1) in
+        i := !i + 2;
+        let idx0a = row0 lor (k2a land 0xFF) in
+        Array.unsafe_set counts idx0a (Array.unsafe_get counts idx0a + inca);
+        let idx1a = row1 lor (k2a lsr 8) in
+        Array.unsafe_set counts idx1a (Array.unsafe_get counts idx1a + inca);
+        let idx0b = row0 lor (k2b land 0xFF) in
+        Array.unsafe_set counts idx0b (Array.unsafe_get counts idx0b + incb);
+        let idx1b = row1 lor (k2b lsr 8) in
+        Array.unsafe_set counts idx1b (Array.unsafe_get counts idx1b + incb)
+      done;
+      if !i < n then begin
+        let k2 = unsafe_get_uint16 buf !pos in
+        let inc = Array.unsafe_get incs !i in
+        let idx0 = row0 lor (k2 land 0xFF) in
+        Array.unsafe_set counts idx0 (Array.unsafe_get counts idx0 + inc);
+        let idx1 = row1 lor (k2 lsr 8) in
+        Array.unsafe_set counts idx1 (Array.unsafe_get counts idx1 + inc)
+      end;
+      l := !l + 2
     done;
-    let bias, len_idx, formula_id, _ = !best in
-    let eval_baseline, eval_taken, eval_n = part_stats profile ~pc ~part:`Eval in
-    let eval_m =
-      match bias with
-      | Brhint.Always_taken -> eval_n - eval_taken
-      | Brhint.Never_taken -> eval_taken
-      | Brhint.Dynamic -> eval_baseline
-      | Brhint.Formula ->
-          let eval_tables = tables_at profile ~pc ~len_idx ~part:`Eval in
-          Algorithm1.mispredictions eval_tables
-            ~truth:(Randomized.truth_of rnd formula_id)
-    in
-    (* marginal hints are the ones that regress on unseen inputs: require
-       the win to be a meaningful fraction of the branch's mispredictions *)
-    let required = max min_gain ((eval_baseline + 9) / 10) in
-    if eval_baseline - eval_m >= required then
-      Some
-        {
-          len_idx;
-          formula_id;
-          bias;
-          sample_mispred = eval_m;
-          baseline_mispred = eval_baseline;
-          samples = n_samples;
-        }
-    else None
-  end
+  while !l < nl do
+    let row = !l lsl 8 in
+    let pos = ref (hash_off + !l) in
+    for i = 0 to n - 1 do
+      let k = Char.code (Bytes.unsafe_get buf !pos) in
+      pos := !pos + rb;
+      let idx = row lor k in
+      Array.unsafe_set counts idx
+        (Array.unsafe_get counts idx + Array.unsafe_get incs i)
+    done;
+    incr l
+  done;
+  ( (!train_mispred, !train_taken, !train_n),
+    (!eval_mispred, !eval_taken, !eval_n) )
+
+(* Compact one half of one length's packed counters into Algorithm-1
+   tables, or [None] when the length provably cannot beat [cutoff].
+   [shift] is 0 for the train half, 32 for eval. *)
+let extract_below (s : scratch) ~len_idx ~shift ~cutoff =
+  Algorithm1.tables_of_cells_below s.alg ~cells:s.counts ~off:(len_idx lsl 8)
+    ~shift ~cutoff
+
+let decide ?min_gain ?scratch:sc (cfg : Config.t) rnd profile ~pc =
+  let min_gain = Option.value min_gain ~default:cfg.min_sample_gain in
+  let nl = cfg.n_lengths in
+  if nl > Profile.n_lengths profile then
+    invalid_arg "History_select.decide: config wants more lengths than profile";
+  match Profile.raw_view profile ~pc with
+  | None -> None
+  | Some v ->
+      if v.Profile.n < 8 then None
+      else if v.Profile.n > max_packed_samples then
+        Reference.decide ~min_gain cfg rnd profile ~pc
+      else begin
+        let s =
+          match sc with
+          | Some s ->
+              if Array.length s.counts < nl lsl 8 then
+                invalid_arg "History_select.decide: scratch too small";
+              s
+          | None -> scratch cfg
+        in
+        let (_, train_taken, train_n), (eval_baseline, eval_taken, eval_n) =
+          tabulate s v ~nl
+        in
+        let train_nt = train_n - train_taken in
+        (* best = (bias, len_idx, candidate index, formula id, train m) *)
+        let best = ref (Brhint.Always_taken, 0, 0, 0, train_nt) in
+        if train_taken < train_nt then
+          best := (Brhint.Never_taken, 0, 0, 0, train_taken);
+        let candidates = Randomized.candidates rnd in
+        let packed = Randomized.packed_candidates rnd in
+        for len_idx = 0 to nl - 1 do
+          let _, _, _, _, cur = !best in
+          (* a length whose irreducible floor meets the running best
+             cannot contribute the strict improvement the update below
+             requires — extraction skips it exactly *)
+          match extract_below s ~len_idx ~shift:0 ~cutoff:cur with
+          | None -> ()
+          | Some tables -> (
+              match
+                Algorithm1.find_packed_below tables ~candidates ~packed
+                  ~cutoff:cur
+              with
+              | Some (idx, f, train_m) ->
+                  best := (Brhint.Formula, len_idx, idx, f, train_m)
+              | None -> ())
+        done;
+        let bias, len_idx, best_idx, formula_id, _ = !best in
+        let eval_m =
+          match bias with
+          | Brhint.Always_taken -> eval_n - eval_taken
+          | Brhint.Never_taken -> eval_taken
+          | Brhint.Dynamic -> eval_baseline
+          | Brhint.Formula -> (
+              match extract_below s ~len_idx ~shift:32 ~cutoff:max_int with
+              | Some eval_tables ->
+                  Algorithm1.mispredictions_packed eval_tables
+                    ~ptruth:packed.(best_idx)
+              | None -> 0 (* no eval samples: matches scoring empty tables *))
+        in
+        Array.fill s.counts 0 (nl lsl 8) 0;
+        let required = max min_gain ((eval_baseline + 9) / 10) in
+        if eval_baseline - eval_m >= required then
+          Some
+            {
+              len_idx;
+              formula_id;
+              bias;
+              sample_mispred = eval_m;
+              baseline_mispred = eval_baseline;
+              samples = v.Profile.n;
+            }
+        else None
+      end

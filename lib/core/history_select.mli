@@ -9,7 +9,15 @@
     taken).  The best (length, formula-or-bias) pair is compared against
     the baseline predictor's misprediction count on the same samples —
     only a branch the formula beats gets a hint (otherwise it is left to
-    the dynamic predictor). *)
+    the dynamic predictor).
+
+    {!decide} is the optimized engine: one scan of the branch's raw
+    sample records fills packed per-length taken/not-taken counters for
+    the train and eval halves simultaneously, and candidates are scored
+    through {!Algorithm1.find_packed} against the shared packed truth
+    tables.  {!Reference.decide} is the seed implementation, retained as
+    the differential-testing oracle and benchmark baseline; both return
+    identical choices on any profile. *)
 
 type choice = {
   len_idx : int;
@@ -20,15 +28,39 @@ type choice = {
   samples : int;
 }
 
+type scratch
+(** Reusable per-worker workspace for {!decide}: the packed count tables
+    for every history length plus the Algorithm-1 build buffers.  Not
+    safe to share across domains — give each worker its own. *)
+
+val scratch : Config.t -> scratch
+(** Workspace sized for [cfg.n_lengths] history series. *)
+
 val decide :
   ?min_gain:int ->
+  ?scratch:scratch ->
   Config.t ->
   Randomized.t ->
   Whisper_trace.Profile.t ->
   pc:int ->
   choice option
 (** [None] when the branch has no samples or no choice beats the baseline
-    by at least [min_gain] (default from config). *)
+    by at least [min_gain] (default from config).  Passing [?scratch]
+    avoids the internal workspace allocation when deciding many branches.
+    Only shared read-only state of [rnd] is touched, so concurrent calls
+    from several domains (each with its own scratch) are safe. *)
+
+(** The seed implementation — [Bytes] truth tables, per-(length, part)
+    profile re-scans.  Differential oracle and benchmark reference. *)
+module Reference : sig
+  val decide :
+    ?min_gain:int ->
+    Config.t ->
+    Randomized.t ->
+    Whisper_trace.Profile.t ->
+    pc:int ->
+    choice option
+end
 
 val decide_at_length :
   Randomized.t ->

@@ -3,7 +3,19 @@ open Whisper_util
 type t = {
   perm : int array;  (* extended-encoding formula ids, shuffled once *)
   n_candidates : int;
+  cands : int array;  (* shared [perm] prefix — callers must not mutate *)
+  packed : int array array;
+      (* packed truth table per candidate, parallel to [cands]; built
+         eagerly at [create] so parallel searches can share them
+         read-only across domains without synchronization *)
   truths : (int, Bytes.t) Hashtbl.t;
+  truths_lock : Mutex.t;
+      (* truth_of is the one lazy memo parallel searches can still reach
+         (via the Reference fallback for oversized branches), so its
+         Hashtbl is mutex-protected *)
+  mutable packed_ext : int array array;
+      (* grow-only packed tables for prefixes beyond [n_candidates]
+         (exploration sweeps); mutated lazily — single-domain only *)
   leaves : int;
 }
 
@@ -29,20 +41,58 @@ let create (cfg : Config.t) =
     int_of_float (Float.round (cfg.explore_frac *. float_of_int (Array.length ids)))
   in
   let n_candidates = min (Array.length ids) (max cfg.min_explore frac) in
-  { perm = ids; n_candidates; truths = Hashtbl.create 256; leaves }
+  let cands = Array.sub ids 0 n_candidates in
+  let packed =
+    Array.map
+      (fun id ->
+        Whisper_formula.Tree.packed_truth_table
+          (Whisper_formula.Tree.of_id ~leaves id))
+      cands
+  in
+  {
+    perm = ids;
+    n_candidates;
+    cands;
+    packed;
+    truths = Hashtbl.create 256;
+    truths_lock = Mutex.create ();
+    packed_ext = [||];
+    leaves;
+  }
 
 let space t = Array.length t.perm
+let candidates t = t.cands
+let packed_candidates t = t.packed
 
-let candidates t = Array.sub t.perm 0 t.n_candidates
-
-let candidates_n t n = Array.sub t.perm 0 (min n (Array.length t.perm))
+let candidates_n t n =
+  if n = t.n_candidates then t.cands
+  else Array.sub t.perm 0 (min n (Array.length t.perm))
 
 let tree_of t id = Whisper_formula.Tree.of_id ~leaves:t.leaves id
 
+let packed_n t n =
+  let n = min n (Array.length t.perm) in
+  if n <= t.n_candidates then t.packed
+  else begin
+    if Array.length t.packed_ext < n then begin
+      let old = t.packed_ext in
+      let ext =
+        Array.init n (fun i ->
+            if i < Array.length old then old.(i)
+            else if i < t.n_candidates then t.packed.(i)
+            else
+              Whisper_formula.Tree.packed_truth_table (tree_of t t.perm.(i)))
+      in
+      t.packed_ext <- ext
+    end;
+    t.packed_ext
+  end
+
 let truth_of t id =
-  match Hashtbl.find_opt t.truths id with
-  | Some b -> b
-  | None ->
-      let b = Whisper_formula.Tree.truth_table (tree_of t id) in
-      Hashtbl.add t.truths id b;
-      b
+  Mutex.protect t.truths_lock (fun () ->
+      match Hashtbl.find_opt t.truths id with
+      | Some b -> b
+      | None ->
+          let b = Whisper_formula.Tree.truth_table (tree_of t id) in
+          Hashtbl.add t.truths id b;
+          b)

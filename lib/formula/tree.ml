@@ -77,6 +77,29 @@ let truth_table t =
 
 let eval_tt table bits = Bytes.unsafe_get table bits <> '\000'
 
+(* 32-bit packing keeps the words well inside OCaml's 63-bit native ints
+   while still collapsing a 256-entry table into 8 words. *)
+let packed_words ~size = (size + 31) lsr 5
+
+let packed_truth_table t =
+  let size = 1 lsl t.n in
+  let w = Array.make (packed_words ~size) 0 in
+  for k = 0 to size - 1 do
+    if eval t k then w.(k lsr 5) <- w.(k lsr 5) lor (1 lsl (k land 31))
+  done;
+  w
+
+let eval_packed w bits =
+  (Array.unsafe_get w (bits lsr 5) lsr (bits land 31)) land 1 = 1
+
+let pack_truth_table table =
+  let size = Bytes.length table in
+  let w = Array.make (packed_words ~size) 0 in
+  for k = 0 to size - 1 do
+    if eval_tt table k then w.(k lsr 5) <- w.(k lsr 5) lor (1 lsl (k land 31))
+  done;
+  w
+
 let gate_delay ~leaves =
   if leaves < 2 || not (Whisper_util.Bitops.is_power_of_two leaves) then
     invalid_arg "Tree.gate_delay";

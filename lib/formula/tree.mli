@@ -72,6 +72,21 @@ val truth_table : t -> Bytes.t
 val eval_tt : Bytes.t -> int -> bool
 (** [eval_tt table bits] looks up a packed input in a truth table. *)
 
+val packed_truth_table : t -> int array
+(** The truth table as a bitset packed 32 entries per word: bit
+    [k land 31] of word [k lsr 5] is [eval t k].  One 256-entry table is
+    8 words instead of 256 bytes, and a membership test is a shift and a
+    mask instead of a byte load — the representation behind the
+    bit-parallel Algorithm 1 scorer
+    ({!Whisper_core.Algorithm1.find_packed}). *)
+
+val eval_packed : int array -> int -> bool
+(** [eval_packed w bits] tests bit [bits] of a packed truth table.  The
+    input must be within the table's range (unchecked, like {!eval_tt}). *)
+
+val pack_truth_table : Bytes.t -> int array
+(** Pack an existing {!truth_table} byte table into the bitset form. *)
+
 (** {1 Hardware model} *)
 
 val gate_delay : leaves:int -> int

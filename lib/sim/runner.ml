@@ -170,14 +170,18 @@ let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
       | [ input ] -> one input
       | inputs -> Profile.merge (List.map one inputs))
 
+(* [jobs] defaults to 1 — most callers (experiment tables, batch tasks)
+   already run inside a domain pool, where nested fan-out would
+   oversubscribe.  Only top-level callers (the CLI analyze command)
+   should pass the user's [-j]. *)
 let whisper_analysis ?(config = Whisper_core.Config.default)
-    ?(train_inputs = [ 0 ]) ctx app =
+    ?(train_inputs = [ 0 ]) ?(jobs = 1) ctx app =
   let p = profile ~inputs:train_inputs ctx app in
-  Whisper_core.Analyze.run ~config p
+  Whisper_core.Analyze.run ~config ~jobs p
 
 let whisper_plan ?(config = Whisper_core.Config.default)
-    ?(train_inputs = [ 0 ]) ctx app =
-  let analysis = whisper_analysis ~config ~train_inputs ctx app in
+    ?(train_inputs = [ 0 ]) ?(jobs = 1) ctx app =
+  let analysis = whisper_analysis ~config ~train_inputs ~jobs ctx app in
   let cfg = cfg_of ctx app in
   Whisper_core.Inject.plan config cfg
     ~source:(source ctx app ~input:(List.hd train_inputs))

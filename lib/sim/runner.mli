@@ -111,14 +111,19 @@ val run :
 val whisper_analysis :
   ?config:Whisper_core.Config.t ->
   ?train_inputs:int list ->
+  ?jobs:int ->
   ctx ->
   Whisper_trace.Workloads.config ->
   Whisper_core.Analyze.t
-(** The offline analysis by itself (for Figs. 6, 7, 15, 16, 19). *)
+(** The offline analysis by itself (for Figs. 6, 7, 15, 16, 19).
+    [jobs] (default 1) parallelizes the per-branch search; plans are
+    byte-identical for any value.  Keep the default when already running
+    inside a domain pool. *)
 
 val whisper_plan :
   ?config:Whisper_core.Config.t ->
   ?train_inputs:int list ->
+  ?jobs:int ->
   ctx ->
   Whisper_trace.Workloads.config ->
   Whisper_core.Inject.t

@@ -75,6 +75,31 @@ let iter_samples t ~pc ~f =
           ~correct:(flags land 2 = 2)
       done
 
+(* Zero-copy window into a branch's packed sample records, for consumers
+   that decode the fields inline (the single-pass tabulation in
+   History_select reads only the hash bytes and flags, skipping the raw56
+   reconstruction iter_samples pays for every record). *)
+type raw_view = {
+  buf : Bytes.t;
+  n : int;
+  record_bytes : int;
+  hash_off : int;
+  flags_off : int;
+}
+
+let raw_view t ~pc =
+  match Hashtbl.find_opt t.samples pc with
+  | None -> None
+  | Some s ->
+      Some
+        {
+          buf = s.buf;
+          n = s.n;
+          record_bytes = t.record_bytes;
+          hash_off = 8;
+          flags_off = 8 + Array.length t.p_lengths;
+        }
+
 let create_empty ?(chunk = 8) ~lengths () =
   {
     p_lengths = Array.copy lengths;

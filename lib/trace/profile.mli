@@ -54,6 +54,27 @@ val iter_samples :
     [hash len_idx] reads the folded hash recorded for that series index.
     The callback must not retain [hash] beyond the call. *)
 
+type raw_view = private {
+  buf : Bytes.t;
+  n : int;  (** number of sample records *)
+  record_bytes : int;  (** stride between consecutive records in [buf] *)
+  hash_off : int;
+      (** record offset of the hash bytes; byte [hash_off + i] is the
+          folded hash for series index [i] *)
+  flags_off : int;
+      (** record offset of the flags byte: bit 0 = taken, bit 1 =
+          baseline predictor correct *)
+}
+(** Zero-copy window into one branch's packed sample records: record [r]
+    spans [buf] bytes [r * record_bytes .. (r+1) * record_bytes - 1].
+    Lets hot consumers decode just the fields they need instead of paying
+    {!iter_samples}'s full per-record reconstruction.  The window aliases
+    the profile's own buffer — treat it as read-only, and drop it before
+    adding further samples for the same branch (growth may reallocate). *)
+
+val raw_view : t -> pc:int -> raw_view option
+(** [None] when the branch carries no samples. *)
+
 (** {1 Collection} *)
 
 val collect :

@@ -179,6 +179,18 @@ let map_retry ?jobs ~policy f xs =
           futures)
   end
 
+(* Balanced half-open index ranges covering [0, n).  Which elements land
+   in a slice depends only on (n, chunks) — never on how many workers end
+   up running them — so slice-parallel results can be merged back in
+   input order deterministically. *)
+let slices ~n ~chunks =
+  if n < 0 then invalid_arg "Pool.slices";
+  if n = 0 then [||]
+  else begin
+    let chunks = max 1 (min chunks n) in
+    Array.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks))
+  end
+
 let map ?jobs f xs =
   let n = Array.length xs in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in

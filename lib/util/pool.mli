@@ -39,6 +39,13 @@ val await_timeout : 'a future -> seconds:float -> ('a, exn) result option
 val shutdown : t -> unit
 (** Drain the queue, then join every worker.  Idempotent. *)
 
+val slices : n:int -> chunks:int -> (int * int) array
+(** [slices ~n ~chunks] partitions the index range [0, n) into at most
+    [chunks] contiguous half-open [(lo, hi)] ranges of near-equal size
+    (empty for [n = 0]).  Deterministic in [(n, chunks)] alone, so
+    per-element work fanned out over the slices and concatenated back in
+    slice order is independent of worker count. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** Order-preserving parallel map over a transient pool: [(map f xs).(i)]
     is the outcome of [f xs.(i)].  With [jobs <= 1] (default

@@ -230,6 +230,19 @@ let test_randomized_truth_cache () =
   let a = Randomized.truth_of r id and b = Randomized.truth_of r id in
   check_bool "cached table is shared" true (a == b)
 
+let test_randomized_shared_slices () =
+  (* the candidate prefix and its packed truth tables are frozen at
+     create: every call hands back the same physical arrays, so the
+     domain-parallel search shares them instead of copying per worker *)
+  let r = Randomized.create Config.default in
+  check_bool "candidates array is shared" true
+    (Randomized.candidates r == Randomized.candidates r);
+  check_bool "packed tables are shared" true
+    (Randomized.packed_candidates r == Randomized.packed_candidates r);
+  let n = Array.length (Randomized.candidates r) in
+  check_bool "full-length prefix is the shared slice" true
+    (Randomized.candidates_n r n == Randomized.candidates r)
+
 (* ------------------------------------------------------------------ *)
 (* History_select                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -390,6 +403,48 @@ let profile_of app ~events =
       ()
   in
   (cfg, prof)
+
+(* ------------------------------------------------------------------ *)
+(* Optimized pipeline vs seed reference                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_decide_matches_reference () =
+  (* the packed single-pass decide must agree with the retained seed
+     implementation on every candidate branch of a real profile *)
+  let app = tiny_app () in
+  let _, prof = profile_of app ~events:40_000 in
+  let config = Config.default in
+  let rnd = Randomized.create config in
+  let scratch = History_select.scratch config in
+  let pcs = Profile.candidates prof in
+  check_bool "profile has candidate branches" true (Array.length pcs > 0);
+  Array.iter
+    (fun pc ->
+      let opt = History_select.decide ~scratch config rnd prof ~pc in
+      let ref_ = History_select.Reference.decide config rnd prof ~pc in
+      check_bool (Printf.sprintf "choice at pc 0x%x" pc) true (opt = ref_))
+    pcs
+
+let test_parallel_analysis_deterministic () =
+  (* fanning the per-branch searches over domains must not change a
+     single decision — serialized plans are byte-identical for any -j *)
+  let app = tiny_app () in
+  let cfg, prof = profile_of app ~events:40_000 in
+  let a1 = Analyze.run ~jobs:1 prof in
+  let a4 = Analyze.run ~jobs:4 prof in
+  check_bool "identical decisions for j1 and j4" true
+    (a1.Analyze.decisions = a4.Analyze.decisions);
+  let plan_bytes (a : Analyze.t) =
+    let plan =
+      Inject.plan Config.default cfg
+        ~source:
+          (App_model.source (App_model.create ~cfg ~config:app ~input:0 ()))
+        ~hints:(Analyze.to_inject_hints a cfg)
+    in
+    Plan_io.to_bytes plan
+  in
+  check_bool "byte-identical serialized plans" true
+    (Bytes.equal (plan_bytes a1) (plan_bytes a4))
 
 let test_inject_plan_validity () =
   let app = tiny_app () in
@@ -611,6 +666,7 @@ let () =
             test_case "prefix nesting" `Quick test_randomized_prefix_nesting;
             test_case "classic family" `Quick test_randomized_classic_family;
             test_case "truth cache" `Quick test_randomized_truth_cache;
+            test_case "shared slices" `Quick test_randomized_shared_slices;
           ] );
       ( "history_select",
         Alcotest.
@@ -619,6 +675,10 @@ let () =
             test_case "bias for constants" `Quick test_decide_prefers_bias_for_constant;
             test_case "rejects noise" `Quick test_decide_rejects_random_branch;
             test_case "no samples" `Quick test_decide_no_samples;
+            test_case "matches seed reference" `Quick
+              test_decide_matches_reference;
+            test_case "parallel analysis deterministic" `Quick
+              test_parallel_analysis_deterministic;
           ] );
       ( "hint_buffer",
         Alcotest.

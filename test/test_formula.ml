@@ -131,6 +131,21 @@ let qcheck_truth_table_matches_eval =
       done;
       !ok)
 
+let qcheck_packed_truth_table_matches_bytes =
+  QCheck.Test.make ~name:"packed truth table agrees with Bytes table"
+    ~count:200
+    QCheck.(int_bound 32767)
+    (fun id ->
+      let t = Tree.of_id ~leaves:8 id in
+      let table = Tree.truth_table t in
+      let packed = Tree.packed_truth_table t in
+      let ok = ref (Tree.pack_truth_table table = packed) in
+      for bits = 0 to 255 do
+        if Tree.eval_packed packed bits <> Tree.eval_tt table bits then
+          ok := false
+      done;
+      !ok)
+
 let test_gate_delay () =
   check_int "2 leaves" 9 (Tree.gate_delay ~leaves:2);
   check_int "4 leaves" 14 (Tree.gate_delay ~leaves:4);
@@ -218,5 +233,10 @@ let () =
               test_extended_strictly_more_expressive;
             test_case "xor inexpressible" `Quick test_no_tree_expresses_xor;
           ]
-        @ qsuite [ qcheck_tree_id_roundtrip_8; qcheck_truth_table_matches_eval ] );
+        @ qsuite
+            [
+              qcheck_tree_id_roundtrip_8;
+              qcheck_truth_table_matches_eval;
+              qcheck_packed_truth_table_matches_bytes;
+            ] );
     ]

@@ -198,6 +198,65 @@ let test_fuzz_deterministic () =
   check_bool "verdicts replay byte-identically" true (run () = run ())
 
 (* ------------------------------------------------------------------ *)
+(* Scoring-engine equivalence (packed vs naive reference)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The bit-parallel Algorithm-1 engine must be bit-identical to the
+   retained naive reference on arbitrary tables and the real candidate
+   sets of both formula families.  Reuses the decoder fuzz knobs:
+   WHISPER_FUZZ_CASES scales the number of random tables and
+   WHISPER_FUZZ_SEED pins the stream. *)
+let test_scorer_equivalence () =
+  let open Whisper_core in
+  let rng = Rng.create (seed lxor 0x5C0) in
+  let table_cases = max 40 (cases / 25) in
+  List.iter
+    (fun ops ->
+      let config = { Config.default with ops } in
+      let rnd = Randomized.create config in
+      let cands = Randomized.candidates rnd in
+      let packed = Randomized.packed_candidates rnd in
+      for _ = 1 to table_cases do
+        let taken = Array.make 256 0 and not_taken = Array.make 256 0 in
+        (* a mix of decisive, balanced (zero-delta) and singleton keys *)
+        for _ = 1 to 1 + Rng.int rng 120 do
+          let k = Rng.int rng 256 in
+          taken.(k) <- taken.(k) + Rng.int rng 10;
+          not_taken.(k) <- not_taken.(k) + Rng.int rng 10
+        done;
+        let t = Algorithm1.tables_of_counts ~taken ~not_taken in
+        Array.iteri
+          (fun i id ->
+            let naive =
+              Algorithm1.mispredictions t ~truth:(Randomized.truth_of rnd id)
+            in
+            let fast = Algorithm1.mispredictions_packed t ~ptruth:packed.(i) in
+            if naive <> fast then
+              Alcotest.failf "scorer mismatch on id %d: naive %d packed %d" id
+                naive fast)
+          cands;
+        let f, m =
+          Algorithm1.find t ~candidates:cands
+            ~truth_of:(Randomized.truth_of rnd)
+        in
+        let i', f', m' = Algorithm1.find_packed t ~candidates:cands ~packed in
+        check_int "find winner" f f';
+        check_int "find score" m m';
+        check_int "winner index resolves" f cands.(i');
+        (* the bounded search is exactly find + post-filtering the winner *)
+        let cutoff = Rng.int rng (m + 2) in
+        (match
+           Algorithm1.find_packed_below t ~candidates:cands ~packed ~cutoff
+         with
+        | Some (_, bf, bm) ->
+            check_bool "bounded winner below cutoff" true (bm < cutoff);
+            check_int "bounded winner" f bf;
+            check_int "bounded score" m bm
+        | None -> check_bool "nothing below cutoff" true (m >= cutoff))
+      done)
+    [ `Classic; `Extended ]
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial (not random) inputs                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -285,6 +344,8 @@ let () =
             test_case "decoders are total" `Quick test_decoders_total;
             test_case "fuzz stream deterministic" `Quick
               test_fuzz_deterministic;
+            test_case "packed scorer equals naive scorer" `Quick
+              test_scorer_equivalence;
             test_case "malicious varint" `Quick test_malicious_varint;
             test_case "malicious count" `Quick test_malicious_count;
             test_case "fault injector deterministic" `Quick
