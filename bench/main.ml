@@ -23,7 +23,12 @@
      WHISPER_FAULTS      chaos mode: per-work-item fault probability
                          (default 0.0; failing items are retried, then
                          reported as DEGRADED rows)
-     WHISPER_FAULT_SEED  seed of the fault injector (default 42) *)
+     WHISPER_FAULT_SEED  seed of the fault injector (default 42)
+     WHISPER_BENCH_SMOKE        short mode for parts 1b/1c (CI)
+     WHISPER_SEARCH_BENCH_ONLY  run only part 1b, then exit
+     WHISPER_REPLAY_BENCH_ONLY  run only part 1c, then exit
+     WHISPER_BENCH_OUT          part 1b output (default BENCH_search.json)
+     WHISPER_REPLAY_OUT         part 1c output (default BENCH_replay.json) *)
 
 open Bechamel
 open Toolkit
@@ -350,9 +355,13 @@ let search_bench () =
           pcs)
     /. fn_pcs
   in
-  (* --- whole-profile analysis throughput, sequential and parallel *)
+  (* --- whole-profile analysis throughput, sequential and parallel.
+     The parallel leg must actually be parallel: in smoke mode (CI
+     containers often default to one domain) force at least two workers,
+     and record the domain count actually used, not the env default. *)
+  let used_jobs = if smoke then max 2 jobs else jobs in
   let a1 = Whisper_core.Analyze.run ~config ~jobs:1 profile in
-  let aj = Whisper_core.Analyze.run ~config ~jobs profile in
+  let aj = Whisper_core.Analyze.run ~config ~jobs:used_jobs profile in
   if a1.Whisper_core.Analyze.decisions <> aj.Whisper_core.Analyze.decisions then
     failwith "parallel analysis disagrees with sequential";
   let hints = Whisper_core.Analyze.hint_count a1 in
@@ -379,7 +388,7 @@ let search_bench () =
   Printf.printf "  decide (%d pcs)   %8.1f -> %7.1f ns/op  (%.1fx)\n" n_pcs
     decide_ref_ns decide_opt_ns decide_speedup;
   Printf.printf "  analysis           %d hints, %.0f hints/s (j1), %.0f hints/s (j%d, %.1fx)\n%!"
-    hints (hps a1) (hps aj) jobs parallel_speedup;
+    hints (hps a1) (hps aj) used_jobs parallel_speedup;
   let out = Option.value ~default:"BENCH_search.json"
       (Sys.getenv_opt "WHISPER_BENCH_OUT")
   in
@@ -415,8 +424,287 @@ let search_bench () =
     n_events smoke n_pcs nc naive_score_ns packed_score_ns scorer_speedup
     find_ns find_packed_ns find_speedup search_naive_ns search_packed_ns
     search_speedup tt_build_ns packed_build_ns
-    decide_ref_ns decide_opt_ns decide_speedup hints (hps a1) (hps aj) jobs
+    decide_ref_ns decide_opt_ns decide_speedup hints (hps a1) (hps aj) used_jobs
     parallel_speedup;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out;
+  ignore !sink
+
+(* ------------------------------------------------------------------ *)
+(* Part 1c: trace-replay benchmark (BENCH_replay.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the packed-arena replay path against the closure-source seed
+   path at three levels — raw event delivery, single-technique
+   simulations, and a multi-technique batch sharing one arena — and
+   asserts at every level that the two paths produce byte-identical
+   results.  Numbers land in a machine-readable JSON file so the perf
+   trajectory is tracked across PRs.
+
+   Extra environment:
+     WHISPER_BENCH_SMOKE   short mode for CI
+     WHISPER_REPLAY_APP    workload to replay (default cassandra)
+     WHISPER_REPLAY_OUT    output path (default BENCH_replay.json) *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let replay_bench () =
+  let open Whisper_sim in
+  let smoke = Sys.getenv_opt "WHISPER_BENCH_SMOKE" <> None in
+  let n_events = if smoke then 120_000 else min events 600_000 in
+  let min_s = if smoke then 0.05 else 0.3 in
+  let app_name =
+    Option.value ~default:"cassandra" (Sys.getenv_opt "WHISPER_REPLAY_APP")
+  in
+  Printf.printf "== trace-replay benchmark (%s, %d events%s) ==\n%!" app_name
+    n_events
+    (if smoke then ", smoke mode" else "");
+  let app = Option.get (Workloads.by_name app_name) in
+  let cfg = Workloads.build_cfg app in
+  let fe = float_of_int n_events in
+  (* --- raw event delivery: closure generation vs arena build+replay *)
+  let src = App_model.source (App_model.create ~cfg ~config:app ~input:1 ()) in
+  let sink = ref 0 in
+  let closure_gen_ns =
+    time_ns ~min_s (fun () ->
+        for _ = 1 to n_events do
+          let e = src () in
+          sink := !sink + e.Branch.pc + e.Branch.instrs
+        done)
+    /. fe
+  in
+  let arena =
+    Arena.build ~events:n_events (App_model.create ~cfg ~config:app ~input:1 ())
+  in
+  let arena_build_ns =
+    time_ns ~min_s (fun () ->
+        ignore
+          (Arena.build ~events:n_events
+             (App_model.create ~cfg ~config:app ~input:1 ())))
+    /. fe
+  in
+  let arena_replay_ns =
+    time_ns ~min_s (fun () ->
+        for i = 0 to n_events - 1 do
+          sink :=
+            !sink + Arena.pc arena i + Arena.instrs arena i
+            + Bool.to_int (Arena.taken arena i)
+        done)
+    /. fe
+  in
+  (* --- per-technique simulations, closure vs arena over one ctx's
+     memoized training artifacts (the training cost is identical on both
+     sides and excluded; what differs is event delivery) *)
+  (* the paper's technique set: every figure replays the same trace under
+     all of these, which is exactly the sharing the arena amortizes *)
+  let techniques =
+    [
+      Runner.Baseline;
+      Runner.Ideal;
+      Runner.Mtage_sc;
+      Runner.Rombf 4;
+      Runner.Rombf 8;
+      Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192);
+      Runner.Whisper Whisper_core.Config.default;
+      Runner.Whisper { Whisper_core.Config.default with hint_buffer_size = 64 };
+      Runner.Whisper { Whisper_core.Config.default with ops = `Extended };
+    ]
+  in
+  let ctx = Runner.create_ctx ~events:n_events ~baseline_kb:64 () in
+  let source () =
+    App_model.source (App_model.create ~cfg ~config:app ~input:1 ())
+  in
+  let tech_rows =
+    List.map
+      (fun t ->
+        let closure_s, rc =
+          time_once (fun () ->
+              let exec = Runner.make_exec ctx app t ~train_inputs:[ 0 ] ~kb:64 in
+              Whisper_pipeline.Machine.run ~events:n_events ~source:(source ())
+                ~predict:exec ())
+        in
+        let arena_s, ra =
+          time_once (fun () ->
+              let exec =
+                Runner.make_exec_arena ctx app t ~train_inputs:[ 0 ] ~kb:64
+                  ~arena
+              in
+              Whisper_pipeline.Machine.run_arena ~events:n_events ~arena
+                ~predict:exec ())
+        in
+        if rc <> ra then
+          failwith
+            (Printf.sprintf "arena replay diverges from closure replay (%s)"
+               (Runner.technique_name t));
+        (Runner.technique_name t, 1e9 *. closure_s /. fe, 1e9 *. arena_s /. fe))
+      techniques
+  in
+  (* --- end-to-end multi-technique batch: every technique over the same
+     (app, input), which is exactly the sharing the arena exists for.
+     Cold = arena built in-run; warm = arena served from the persistent
+     cache populated by a prior invocation. *)
+  let sims = List.map (fun t -> Runner.sim app t) techniques in
+  let batch ?cache_dir ~replay ~jobs () =
+    let ctx =
+      Runner.create_ctx ~events:n_events ~baseline_kb:64 ~jobs ~replay
+        ?cache_dir ()
+    in
+    let wall, () = time_once (fun () -> Runner.run_batch ctx sims) in
+    (wall, List.map (fun t -> Runner.run ctx app t) techniques, Runner.stats ctx)
+  in
+  let closure_s, closure_results, _ = batch ~replay:`Closure ~jobs:1 () in
+  let closure4_s, closure4_results, _ = batch ~replay:`Closure ~jobs:4 () in
+  let cold_s, cold_results, cold_stats = batch ~replay:`Arena ~jobs:1 () in
+  if closure_results <> cold_results then
+    failwith "arena batch diverges from closure batch";
+  if closure4_results <> cold_results then
+    failwith "closure batch diverges across job counts";
+  (* parallel determinism: the same arena shared across domains *)
+  let par_s, par_results, _ = batch ~replay:`Arena ~jobs:4 () in
+  if par_results <> cold_results then
+    failwith "arena batch diverges across job counts";
+  (* warm: prepopulate only the arena cache (not the result cache), so
+     the warm run re-simulates everything but skips arena generation *)
+  let cache_root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "whisper_replay_bench_%d" (Unix.getpid ()))
+  in
+  let pre = Runner.create_ctx ~events:n_events ~cache_dir:cache_root () in
+  let store_s, () =
+    time_once (fun () ->
+        ignore (Runner.arena pre app ~input:0);
+        ignore (Runner.arena pre app ~input:1))
+  in
+  let load_ctx = Runner.create_ctx ~events:n_events ~cache_dir:cache_root () in
+  let load_s, _ = time_once (fun () -> Runner.arena load_ctx app ~input:1) in
+  let warm_s, warm_results, warm_stats =
+    batch ~cache_dir:cache_root ~replay:`Arena ~jobs:1 ()
+  in
+  if warm_results <> cold_results then
+    failwith "warm arena batch diverges from cold";
+  let cold_speedup = closure_s /. cold_s in
+  let warm_speedup = closure_s /. warm_s in
+  (* --- end-to-end event delivery over the batch's real pass structure:
+     the closure path generates the stream once per consumer (2 profile
+     passes over the train input + one sim pass per technique over the
+     test input); the arena path builds each input's arena once and
+     replays it by index for every consumer.  This isolates the cost the
+     arena subsystem replaces — the full batch wall times above include
+     the predictor/training work that is identical on both sides. *)
+  let train_passes = 2 and test_passes = List.length techniques in
+  let gen_pass input =
+    let src = App_model.source (App_model.create ~cfg ~config:app ~input ()) in
+    for _ = 1 to n_events do
+      sink := !sink + (src ()).Branch.pc
+    done
+  in
+  let closure_delivery_s, () =
+    time_once (fun () ->
+        for _ = 1 to train_passes do
+          gen_pass 0
+        done;
+        for _ = 1 to test_passes do
+          gen_pass 1
+        done)
+  in
+  let replay_pass a =
+    for i = 0 to n_events - 1 do
+      sink := !sink + Arena.pc a i
+    done
+  in
+  let arena_delivery_s, () =
+    time_once (fun () ->
+        let a0 =
+          Arena.build ~events:n_events
+            (App_model.create ~cfg ~config:app ~input:0 ())
+        in
+        let a1 =
+          Arena.build ~events:n_events
+            (App_model.create ~cfg ~config:app ~input:1 ())
+        in
+        for _ = 1 to train_passes do
+          replay_pass a0
+        done;
+        for _ = 1 to test_passes do
+          replay_pass a1
+        done)
+  in
+  let delivery_speedup = closure_delivery_s /. arena_delivery_s in
+  List.iter
+    (fun (name, c_ns, a_ns) ->
+      Printf.printf "  sim %-12s %8.1f -> %7.1f ns/event  (%.1fx)\n" name c_ns
+        a_ns (c_ns /. a_ns))
+    tech_rows;
+  Printf.printf "  event delivery     %8.1f -> %7.1f ns/event  (build %.1f ns/event)\n"
+    closure_gen_ns arena_replay_ns arena_build_ns;
+  Printf.printf
+    "  batch (%d techniques) closure %.2fs, arena cold %.2fs (%.1fx), warm \
+     %.2fs (%.1fx)\n%!"
+    (List.length techniques) closure_s cold_s cold_speedup warm_s warm_speedup;
+  Printf.printf "  batch -j4            closure %.2fs, arena %.2fs (%.1fx)\n%!"
+    closure4_s par_s (closure4_s /. par_s);
+  Printf.printf
+    "  batch delivery (%d passes) closure %.3fs, arena %.3fs (%.1fx)\n%!"
+    (train_passes + test_passes)
+    closure_delivery_s arena_delivery_s delivery_speedup;
+  let out =
+    Option.value ~default:"BENCH_replay.json"
+      (Sys.getenv_opt "WHISPER_REPLAY_OUT")
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "app": %S,
+  "events": %d,
+  "smoke": %b,
+  "closure_gen_ns_per_event": %.2f,
+  "arena_build_ns_per_event": %.2f,
+  "arena_replay_ns_per_event": %.2f,
+  "replay_speedup": %.2f,
+  "technique_sims": [
+%s
+  ],
+  "batch_techniques": %d,
+  "batch_closure_s": %.3f,
+  "batch_arena_cold_s": %.3f,
+  "batch_arena_warm_s": %.3f,
+  "batch_cold_speedup": %.2f,
+  "batch_warm_speedup": %.2f,
+  "batch_closure_j4_s": %.3f,
+  "batch_arena_j4_s": %.3f,
+  "batch_j4_speedup": %.2f,
+  "batch_delivery_passes": %d,
+  "batch_delivery_closure_s": %.3f,
+  "batch_delivery_arena_s": %.3f,
+  "batch_delivery_speedup": %.2f,
+  "batch_cold_arena_builds": %d,
+  "batch_warm_arena_cache_hits": %d,
+  "arena_cache_store_ms": %.2f,
+  "arena_cache_load_ms": %.2f,
+  "parallel_jobs": 4,
+  "parallel_identical": true
+}
+|}
+    app_name n_events smoke closure_gen_ns arena_build_ns arena_replay_ns
+    (closure_gen_ns /. arena_replay_ns)
+    (String.concat ",\n"
+       (List.map
+          (fun (name, c_ns, a_ns) ->
+            Printf.sprintf
+              "    { \"technique\": %S, \"closure_ns_per_event\": %.2f, \
+               \"arena_ns_per_event\": %.2f, \"speedup\": %.2f }"
+              name c_ns a_ns (c_ns /. a_ns))
+          tech_rows))
+    (List.length techniques)
+    closure_s cold_s warm_s cold_speedup warm_speedup closure4_s par_s
+    (closure4_s /. par_s)
+    (train_passes + test_passes)
+    closure_delivery_s arena_delivery_s delivery_speedup
+    cold_stats.Runner.arena_builds warm_stats.Runner.arena_cache_hits
+    (1e3 *. store_s) (1e3 *. load_s);
   close_out oc;
   Printf.printf "  wrote %s\n%!" out;
   ignore !sink
@@ -533,8 +821,13 @@ let () =
     search_bench ();
     exit 0
   end;
+  if Sys.getenv_opt "WHISPER_REPLAY_BENCH_ONLY" <> None then begin
+    replay_bench ();
+    exit 0
+  end;
   if Sys.getenv_opt "WHISPER_SKIP_MICRO" = None then run_micro ();
   search_bench ();
+  replay_bench ();
   Printf.printf
     "\n== paper tables & figures (%d events per run, %d jobs%s) ==\n\n%!"
     events jobs

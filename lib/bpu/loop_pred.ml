@@ -31,12 +31,18 @@ let slot t pc = t.entries.((pc lsr 2) land t.mask)
 (* the tag covers the PC bits *above* the index, so aliasing is detected *)
 let tag_of t pc = (pc lsr (2 + t.log)) land 0x3FF
 
-let predict t ~pc =
+(* Allocation-free variant for the replay hot loop: -1 = no confident
+   entry, 0 = predict not-taken, 1 = predict taken. *)
+let predict_code t ~pc =
   let e = slot t pc in
   if e.tag = tag_of t pc && e.conf >= 3 && e.past_iter > 0 then
     (* after past_iter-1 body outcomes, the next one exits *)
-    Some (if e.cur_iter + 1 >= e.past_iter then not e.dir else e.dir)
-  else None
+    let dir = if e.cur_iter + 1 >= e.past_iter then not e.dir else e.dir in
+    Bool.to_int dir
+  else -1
+
+let predict t ~pc =
+  match predict_code t ~pc with -1 -> None | c -> Some (c = 1)
 
 let train t ~pc ~taken ~tage_mispredicted =
   let e = slot t pc in

@@ -11,6 +11,10 @@ val storage_bits : t -> int
 val predict : t -> pc:int -> bool option
 (** [Some dir] when the entry is confident; [None] otherwise. *)
 
+val predict_code : t -> pc:int -> int
+(** Allocation-free {!predict}: [-1] when not confident, else [0]/[1]
+    for the predicted direction — the replay hot loop's entry point. *)
+
 val train : t -> pc:int -> taken:bool -> tage_mispredicted:bool -> unit
 (** Update the entry for [pc]; allocate when TAGE mispredicted and no
     entry exists. *)

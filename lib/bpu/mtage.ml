@@ -60,7 +60,7 @@ let predict t ~pc =
   in
   t.ctx_provider <- !provider;
   t.ctx_tage_pred <- pred;
-  let final = Stat_corrector.refine ~tage_conf:conf t.sc ~pc ~tage_pred:pred in
+  let final = Stat_corrector.refine_conf t.sc ~conf ~pc ~tage_pred:pred in
   t.ctx_pred <- final;
   final
 

@@ -57,7 +57,8 @@ let sum t pc =
     t.banks;
   !s
 
-let refine ?(tage_conf = `Med) t ~pc ~tage_pred =
+let refine_conf t ~conf ~pc ~tage_pred =
+  let tage_conf = conf in
   let s = sum t pc in
   let sc_pred = s >= 0 in
   (* veto only when TAGE itself is not confident: a small aliased
@@ -77,6 +78,9 @@ let refine ?(tage_conf = `Med) t ~pc ~tage_pred =
   t.ctx_sc_pred <- sc_pred;
   t.ctx_tage_pred <- tage_pred;
   final
+
+let refine ?(tage_conf = `Med) t ~pc ~tage_pred =
+  refine_conf t ~conf:tage_conf ~pc ~tage_pred
 
 let bump c ~taken = Counters.update c ~taken ~min:(-32) ~max:31
 

@@ -17,6 +17,11 @@ val refine :
     only on overwhelming statistical evidence).  Records the lookup
     context for {!train}. *)
 
+val refine_conf :
+  t -> conf:[ `High | `Med | `Low ] -> pc:int -> tage_pred:bool -> bool
+(** {!refine} with a required confidence argument — the replay hot loop
+    uses this to avoid boxing the optional argument per prediction. *)
+
 val train : t -> pc:int -> taken:bool -> unit
 (** Perceptron-style threshold update; advances the corrector's own
     history.  Must follow {!refine} for the same [pc]. *)

@@ -28,13 +28,13 @@ let storage_bits t = Sizes.total_bits t.sizes
 let predict t ~pc =
   let tage_pred = Tage.predict t.tage ~pc in
   let sc_pred =
-    Stat_corrector.refine ~tage_conf:(Tage.confidence t.tage) t.sc ~pc ~tage_pred
+    Stat_corrector.refine_conf t.sc ~conf:(Tage.confidence t.tage) ~pc
+      ~tage_pred
   in
-  let final, loop_used =
-    match Loop_pred.predict t.loop ~pc with
-    | Some dir -> (dir, true)
-    | None -> (sc_pred, false)
-  in
+  (* allocation-free on the replay path: no option, no boxed optional *)
+  let loop_code = Loop_pred.predict_code t.loop ~pc in
+  let loop_used = loop_code >= 0 in
+  let final = if loop_used then loop_code = 1 else sc_pred in
   t.ctx_pc <- pc;
   t.ctx_pred <- final;
   t.ctx_tage_pred <- tage_pred;

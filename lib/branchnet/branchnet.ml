@@ -91,9 +91,9 @@ module Runtime = struct
   let create spec ~baseline =
     { spec; base = baseline; ghist = 0; features = Array.make feature_bytes 0; n_covered = 0 }
 
-  let exec rt (e : Branch.event) =
+  let exec_at rt ~pc ~taken =
     let covered =
-      match Hashtbl.find_opt rt.spec.models e.pc with
+      match Hashtbl.find_opt rt.spec.models pc with
       | None -> None
       | Some model ->
           for b = 0 to feature_bytes - 1 do
@@ -105,15 +105,18 @@ module Runtime = struct
       match covered with
       | Some pred ->
           rt.n_covered <- rt.n_covered + 1;
-          rt.base.spectate ~pc:e.pc ~taken:e.taken;
-          pred = e.taken
+          rt.base.spectate ~pc ~taken;
+          pred = taken
       | None ->
-          let pred = rt.base.predict ~pc:e.pc in
-          rt.base.train ~pc:e.pc ~taken:e.taken;
-          rt.base.is_oracle || pred = e.taken
+          let pred = rt.base.predict ~pc in
+          rt.base.train ~pc ~taken;
+          rt.base.is_oracle || pred = taken
     in
-    rt.ghist <- ((rt.ghist lsl 1) lor (if e.taken then 1 else 0)) land 0xFF_FFFF_FFFF_FFFF;
+    rt.ghist <-
+      ((rt.ghist lsl 1) lor (if taken then 1 else 0)) land 0xFF_FFFF_FFFF_FFFF;
     correct
+
+  let exec rt (e : Branch.event) = exec_at rt ~pc:e.pc ~taken:e.taken
 
   let covered_predictions rt = rt.n_covered
 end

@@ -40,5 +40,10 @@ module Runtime : sig
 
   val create : t -> baseline:Whisper_bpu.Predictor.t -> rt
   val exec : rt -> Whisper_trace.Branch.event -> bool
+
+  val exec_at : rt -> pc:int -> taken:bool -> bool
+  (** [exec] on unboxed event fields — the arena replay path, which
+      never materializes a [Branch.event] record. *)
+
   val covered_predictions : rt -> int
 end

@@ -45,7 +45,9 @@ let correlate ~window ~trace_events ~(cfg : Cfg.t) ~source ~branches =
       float_of_int (Whisper_util.Histo.count cooccur ((pred * n_blocks) + branch))
       /. float_of_int exec.(pred)
 
-let plan ?(window = 64) ?(threshold = 0.9) ?(trace_events = 200_000)
+let default_trace_events = 200_000
+
+let plan ?(window = 64) ?(threshold = 0.9) ?(trace_events = default_trace_events)
     (config : Config.t) (cfg : Cfg.t) ~source ~hints =
   let cond_prob =
     correlate ~window ~trace_events ~cfg ~source

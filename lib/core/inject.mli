@@ -31,6 +31,11 @@ type t = {
   dropped : int;  (** hints unplaceable within the PC-offset reach *)
 }
 
+val default_trace_events : int
+(** Default correlation-trace length consumed by {!plan} (currently
+    200k events) — exposed so arena-building callers can size a packed
+    replay buffer that covers the plan's needs. *)
+
 val plan :
   ?window:int ->
   ?threshold:float ->

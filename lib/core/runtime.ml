@@ -53,16 +53,16 @@ let hint_prediction t (h : Brhint.t) =
       let hash = History.Folded.value t.folded.(h.len_idx) in
       Some (Whisper_formula.Tree.eval_tt (truth t h.formula_id) hash)
 
-let exec t (e : Branch.event) =
+let exec_at t ~block ~pc ~taken =
   (* 1. execute any brhints hosted in this block *)
   List.iter
     (fun (p : Inject.placement) ->
       Hint_buffer.insert t.buf ~branch_pc:p.branch_pc p.hint)
-    (Inject.hints_at t.plan ~block:e.block);
+    (Inject.hints_at t.plan ~block);
   (* 2. predict: hint buffer and dynamic predictor are probed in parallel;
      a hinted branch does not train or allocate in the baseline *)
   let hinted =
-    match Hint_buffer.probe t.buf ~branch_pc:e.pc with
+    match Hint_buffer.probe t.buf ~branch_pc:pc with
     | Some h -> hint_prediction t h
     | None -> None
   in
@@ -70,19 +70,22 @@ let exec t (e : Branch.event) =
     match hinted with
     | Some pred ->
         t.n_hinted <- t.n_hinted + 1;
-        t.base.spectate ~pc:e.pc ~taken:e.taken;
-        let ok = pred = e.taken in
+        t.base.spectate ~pc ~taken;
+        let ok = pred = taken in
         if not ok then t.n_hinted_wrong <- t.n_hinted_wrong + 1;
         ok
     | None ->
         t.n_base <- t.n_base + 1;
-        let pred = t.base.predict ~pc:e.pc in
-        t.base.train ~pc:e.pc ~taken:e.taken;
-        t.base.is_oracle || pred = e.taken
+        let pred = t.base.predict ~pc in
+        t.base.train ~pc ~taken;
+        t.base.is_oracle || pred = taken
   in
   (* 3. advance Whisper's folded-history mirror *)
-  History.push_all t.hist t.folded e.taken;
+  History.push_all t.hist t.folded taken;
   correct
+
+let exec t (e : Branch.event) =
+  exec_at t ~block:e.Branch.block ~pc:e.pc ~taken:e.taken
 
 let predictor_name t = "whisper+" ^ t.base.name
 let hinted_predictions t = t.n_hinted

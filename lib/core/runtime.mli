@@ -22,6 +22,10 @@ val exec : t -> Whisper_trace.Branch.event -> bool
 (** Process one event end-to-end (hint execution, prediction, training,
     history update).  Returns whether the prediction was correct. *)
 
+val exec_at : t -> block:int -> pc:int -> taken:bool -> bool
+(** [exec] on unboxed event fields — the arena replay path, which never
+    materializes a [Branch.event] record. *)
+
 val predictor_name : t -> string
 
 val hinted_predictions : t -> int

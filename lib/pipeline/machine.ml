@@ -33,7 +33,15 @@ let speedup_pct ~baseline ~improved =
   Whisper_util.Stats.speedup_pct ~baseline:baseline.cycles
     ~improved:improved.cycles
 
-let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict () =
+(* The closure path ([run]) and the packed-arena path ([run_arena]) feed
+   the same accounting core, so their results are byte-identical by
+   construction; only the per-event fetch differs (allocating source
+   closure vs direct indexed reads). *)
+type feed =
+  | From_source of Branch.source * (Branch.event -> bool)
+  | From_arena of Arena.t * (int -> bool)
+
+let run_impl ~(params : Params.t) ~segments ~events feed =
   let l1i =
     Cache.create ~bytes:params.Params.l1i_bytes ~assoc:params.l1i_assoc
       ~line_bytes:params.line_bytes ()
@@ -67,23 +75,27 @@ let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict () 
   let width = float_of_int params.width in
   let seg_mispredicts = Array.make segments 0 in
   let seg_instrs = Array.make segments 0 in
-  let seg_size = max 1 ((events + segments - 1) / segments) in
-  for ev = 0 to events - 1 do
-    let seg = min (segments - 1) (ev / seg_size) in
-    let e = source () in
-    instrs := !instrs + e.Branch.instrs;
-    seg_instrs.(seg) <- seg_instrs.(seg) + e.Branch.instrs;
+  (* Per-event constants, hoisted out of the hot loop. *)
+  let line_bytes = params.line_bytes in
+  let l2_lat = float_of_int params.l2_latency in
+  let l3_lat = float_of_int params.l3_latency in
+  let mem_lat = float_of_int params.mem_latency in
+  let resteer_p = float_of_int params.resteer_penalty in
+  let btb_p = float_of_int params.btb_miss_penalty in
+  let cpi = (1.0 /. width) +. params.backend_cpi in
+  let account ~seg ~pc ~instrs:n_instrs ~taken ~correct =
+    instrs := !instrs + n_instrs;
+    seg_instrs.(seg) <- seg_instrs.(seg) + n_instrs;
     (* instruction fetch for the block's lines *)
-    let first_line = e.Branch.pc - ((e.Branch.instrs - 1) * Cfg.instr_bytes) in
-    let last = e.Branch.pc in
-    let line = ref (first_line - (first_line mod params.line_bytes)) in
-    while !line <= last do
+    let first_line = pc - ((n_instrs - 1) * Cfg.instr_bytes) in
+    let line = ref (first_line - (first_line mod line_bytes)) in
+    while !line <= pc do
       if not (Cache.access l1i !line) then begin
         incr l1i_misses;
         let latency =
-          if Cache.access l2 !line then float_of_int params.l2_latency
-          else if Cache.access l3 !line then float_of_int params.l3_latency
-          else float_of_int params.mem_latency
+          if Cache.access l2 !line then l2_lat
+          else if Cache.access l3 !line then l3_lat
+          else mem_lat
         in
         (* FDIP hides the part of the miss covered by its lead *)
         let exposed_cycles = Float.max 0.0 (latency -. !lead) in
@@ -91,33 +103,49 @@ let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict () 
         fe_stall := !fe_stall +. exposed_cycles;
         cycles := !cycles +. exposed_cycles
       end;
-      line := !line + params.line_bytes
+      line := !line + line_bytes
     done;
     (* execute the block: fetch-width-limited frontend plus the averaged
        backend latency (Params.backend_cpi) *)
-    let base =
-      float_of_int e.Branch.instrs
-      *. ((1.0 /. width) +. params.backend_cpi)
-    in
+    let base = float_of_int n_instrs *. cpi in
     cycles := !cycles +. base;
     lead := Float.min lead_cap (!lead +. base);
     (* branch resolution *)
-    let correct = predict e in
     if not correct then begin
       incr mispredicts;
       seg_mispredicts.(seg) <- seg_mispredicts.(seg) + 1;
-      let p = float_of_int params.resteer_penalty in
-      cycles := !cycles +. p;
-      misp_stall := !misp_stall +. p;
+      cycles := !cycles +. resteer_p;
+      misp_stall := !misp_stall +. resteer_p;
       lead := 0.0
     end
-    else if e.Branch.taken && not (Cache.access btb e.Branch.pc) then begin
+    else if taken && not (Cache.access btb pc) then begin
       (* taken branch with unknown target: decode-resteer bubble *)
-      let p = float_of_int params.btb_miss_penalty in
-      cycles := !cycles +. p;
-      btb_stall := !btb_stall +. p;
-      lead := Float.max 0.0 (!lead -. p)
+      cycles := !cycles +. btb_p;
+      btb_stall := !btb_stall +. btb_p;
+      lead := Float.max 0.0 (!lead -. btb_p)
     end
+  in
+  (* Balanced segment partition: segment [seg] covers event indices
+     [seg*events/segments, (seg+1)*events/segments), so segment sizes
+     differ by at most one and small runs (events < segments, events = 0)
+     spread evenly instead of front-loading with trailing empty segments.
+     When [segments] divides [events] this is the same equal split as
+     before.  The outer loop also hoists the per-event segment division
+     the previous implementation paid. *)
+  for seg = 0 to segments - 1 do
+    let lo = seg * events / segments in
+    let hi = (seg + 1) * events / segments in
+    for ev = lo to hi - 1 do
+      match feed with
+      | From_source (source, predict) ->
+          ignore ev;
+          let e = source () in
+          account ~seg ~pc:e.Branch.pc ~instrs:e.Branch.instrs
+            ~taken:e.Branch.taken ~correct:(predict e)
+      | From_arena (a, predict) ->
+          account ~seg ~pc:(Arena.pc a ev) ~instrs:(Arena.instrs a ev)
+            ~taken:(Arena.taken a ev) ~correct:(predict ev)
+    done
   done;
   {
     cycles = !cycles;
@@ -132,3 +160,13 @@ let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict () 
     seg_mispredicts;
     seg_instrs;
   }
+
+let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict ()
+    =
+  run_impl ~params ~segments ~events (From_source (source, predict))
+
+let run_arena ?(params = Params.default) ?(segments = 10) ~events ~arena
+    ~predict () =
+  if events > Arena.length arena then
+    invalid_arg "Machine.run_arena: events exceeds arena length";
+  run_impl ~params ~segments ~events (From_arena (arena, predict))

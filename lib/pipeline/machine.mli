@@ -29,8 +29,11 @@ type result = {
   l1i_misses : int;
   exposed_misses : int;  (** misses FDIP failed to fully hide *)
   seg_mispredicts : int array;
-      (** mispredictions per equal trace segment (for warm-up and
-          trace-length sweeps, Figs. 22–23) *)
+      (** mispredictions per trace segment (for warm-up and trace-length
+          sweeps, Figs. 22–23).  Segment [k] covers event indices
+          [k*events/segments, (k+1)*events/segments): sizes differ by at
+          most one, and short runs ([events < segments], [events = 0])
+          spread evenly instead of leaving trailing empty segments. *)
   seg_instrs : int array;
 }
 
@@ -55,3 +58,20 @@ val run :
 (** [predict e] must carry out the full predict/train protocol of the
     modelled predictor and return whether the direction was predicted
     correctly. *)
+
+val run_arena :
+  ?params:Params.t ->
+  ?segments:int ->
+  events:int ->
+  arena:Whisper_trace.Arena.t ->
+  predict:(int -> bool) ->
+  unit ->
+  result
+(** Replay path: same timing model fed by direct indexed reads from a
+    packed {!Whisper_trace.Arena} instead of a closure source — no
+    [Branch.event] is allocated per event.  [predict i] receives the
+    event index and reads whatever fields it needs from the arena; it
+    must follow the same predict/train protocol as {!run}'s callback.
+    Both entry points share one accounting core, so for equal streams
+    and predictors the results are byte-identical.
+    @raise Invalid_argument if [events] exceeds the arena's length. *)

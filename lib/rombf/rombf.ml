@@ -112,9 +112,9 @@ module Runtime = struct
         Hashtbl.add rt.truths id b;
         b
 
-  let exec rt (e : Branch.event) =
+  let exec_at rt ~pc ~taken =
     let hinted =
-      match Hashtbl.find_opt rt.spec.hints e.pc with
+      match Hashtbl.find_opt rt.spec.hints pc with
       | Some Always -> Some true
       | Some Never -> Some false
       | Some (Tree tree) ->
@@ -126,15 +126,17 @@ module Runtime = struct
       match hinted with
       | Some pred ->
           rt.n_hinted <- rt.n_hinted + 1;
-          rt.base.spectate ~pc:e.pc ~taken:e.taken;
-          pred = e.taken
+          rt.base.spectate ~pc ~taken;
+          pred = taken
       | None ->
-          let pred = rt.base.predict ~pc:e.pc in
-          rt.base.train ~pc:e.pc ~taken:e.taken;
-          rt.base.is_oracle || pred = e.taken
+          let pred = rt.base.predict ~pc in
+          rt.base.train ~pc ~taken;
+          rt.base.is_oracle || pred = taken
     in
-    rt.ghist <- (rt.ghist lsl 1) lor (if e.taken then 1 else 0);
+    rt.ghist <- (rt.ghist lsl 1) lor (if taken then 1 else 0);
     correct
+
+  let exec rt (e : Branch.event) = exec_at rt ~pc:e.pc ~taken:e.taken
 
   let hinted_predictions rt = rt.n_hinted
 end

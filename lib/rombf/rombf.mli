@@ -38,5 +38,9 @@ module Runtime : sig
   val exec : rt -> Whisper_trace.Branch.event -> bool
   (** Returns whether the prediction was correct. *)
 
+  val exec_at : rt -> pc:int -> taken:bool -> bool
+  (** [exec] on unboxed event fields — the arena replay path, which
+      never materializes a [Branch.event] record. *)
+
   val hinted_predictions : rt -> int
 end

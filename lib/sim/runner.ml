@@ -38,31 +38,44 @@ type stats = {
   sim_seconds : float;
   cache_hits : int;
   cache_misses : int;
+  arena_builds : int;
+  arena_seconds : float;
+  arena_cache_hits : int;
+  arena_cache_misses : int;
 }
+
+type replay = [ `Arena | `Closure ]
 
 type ctx = {
   mutable ev : int;
   base_kb : int;
   mutable n_jobs : int;
+  mutable replay_mode : replay;
   cache : Result_cache.t option;
+  arena_cache : Arena_cache.t option;
   fault : Whisper_util.Fault.t option;
   policy : Whisper_util.Pool.policy;
   quarantine : (string, Whisper_util.Whisper_error.t) Hashtbl.t;
   lock : Mutex.t;
   cfgs : (string, Cfg.t) Hashtbl.t;
   profiles : (string, Profile.t) Hashtbl.t;
+  arenas : (string, Arena.t) Hashtbl.t;
   results : (string, Whisper_pipeline.Machine.result) Hashtbl.t;
   mutable n_sims : int;
   mutable sim_seconds : float;
   mutable n_hits : int;
   mutable n_misses : int;
+  mutable n_arena_builds : int;
+  mutable arena_seconds : float;
+  mutable n_arena_hits : int;
+  mutable n_arena_misses : int;
   mutable n_retries : int;
   mutable n_observed : int;
 }
 
-let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) ?(jobs = 1) ?cache_dir
-    ?(faults = 0.0) ?(fault_seed = 42) ?(retries = 2) ?task_timeout ?hang_s ()
-    =
+let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) ?(jobs = 1)
+    ?(replay = `Arena) ?cache_dir ?(faults = 0.0) ?(fault_seed = 42)
+    ?(retries = 2) ?task_timeout ?hang_s () =
   let fault =
     if faults > 0.0 then
       Some (Whisper_util.Fault.create ~seed:fault_seed ?hang_s ~rate:faults ())
@@ -84,22 +97,43 @@ let create_ctx ?(events = 1_200_000) ?(baseline_kb = 64) ?(jobs = 1) ?cache_dir
         timeout_s = task_timeout;
       }
   in
+  (* the arena cache shares the result cache's root (and, under chaos,
+     its bit-rot injection) but keys its corruptions separately so the
+     two caches degrade independently *)
+  let arena_corrupt =
+    Option.map
+      (fun f ~key b -> Whisper_util.Fault.corrupt f ~key:("arena/" ^ key) b)
+      fault
+  in
   {
     ev = events;
     base_kb = baseline_kb;
     n_jobs = max 1 jobs;
+    replay_mode = replay;
     cache = Option.map (fun dir -> Result_cache.create ?corrupt ~dir ()) cache_dir;
+    arena_cache =
+      Option.map
+        (fun dir ->
+          Arena_cache.create ?corrupt:arena_corrupt
+            ~dir:(Filename.concat dir Arena_cache.default_subdir)
+            ())
+        cache_dir;
     fault;
     policy;
     quarantine = Hashtbl.create 16;
     lock = Mutex.create ();
     cfgs = Hashtbl.create 32;
     profiles = Hashtbl.create 64;
+    arenas = Hashtbl.create 32;
     results = Hashtbl.create 256;
     n_sims = 0;
     sim_seconds = 0.0;
     n_hits = 0;
     n_misses = 0;
+    n_arena_builds = 0;
+    arena_seconds = 0.0;
+    n_arena_hits = 0;
+    n_arena_misses = 0;
     n_retries = 0;
     n_observed = 0;
   }
@@ -109,6 +143,8 @@ let set_events ctx e = ctx.ev <- e
 let baseline_kb ctx = ctx.base_kb
 let jobs ctx = ctx.n_jobs
 let set_jobs ctx j = ctx.n_jobs <- max 1 j
+let replay ctx = ctx.replay_mode
+let set_replay ctx r = ctx.replay_mode <- r
 let cache_dir ctx = Option.map Result_cache.dir ctx.cache
 
 let stats ctx =
@@ -118,6 +154,10 @@ let stats ctx =
         sim_seconds = ctx.sim_seconds;
         cache_hits = ctx.n_hits;
         cache_misses = ctx.n_misses;
+        arena_builds = ctx.n_arena_builds;
+        arena_seconds = ctx.arena_seconds;
+        arena_cache_hits = ctx.n_arena_hits;
+        arena_cache_misses = ctx.n_arena_misses;
       })
 
 (* Double-checked memoization over a ctx table.  The compute step runs
@@ -141,9 +181,39 @@ let memo ctx tbl key compute =
 let cfg_of ctx (app : Workloads.config) =
   memo ctx ctx.cfgs app.name (fun () -> Workloads.build_cfg app)
 
-let source ctx app ~input =
+let model ctx app ~input =
   let cfg = cfg_of ctx app in
-  App_model.source (App_model.create ~cfg ~config:app ~input ())
+  App_model.create ~cfg ~config:app ~input ()
+
+let source ctx app ~input = App_model.source (model ctx app ~input)
+
+let arena_key ctx (app : Workloads.config) ~input =
+  Printf.sprintf "arena/%s/%d/%d/%d" app.name app.seed input ctx.ev
+
+(* One packed arena per (app, input, events), shared read-only by every
+   technique and every pool domain.  The persistent cache (when enabled)
+   makes the decode-once step survive CLI invocations: a warm run loads
+   packed buffers straight from disk and never touches App_model. *)
+let arena ctx app ~input =
+  let key = arena_key ctx app ~input in
+  memo ctx ctx.arenas key (fun () ->
+      match Option.bind ctx.arena_cache (fun c -> Arena_cache.find c ~key) with
+      | Some a ->
+          Mutex.protect ctx.lock (fun () ->
+              ctx.n_arena_hits <- ctx.n_arena_hits + 1);
+          a
+      | None ->
+          if ctx.arena_cache <> None then
+            Mutex.protect ctx.lock (fun () ->
+                ctx.n_arena_misses <- ctx.n_arena_misses + 1);
+          let t0 = Unix.gettimeofday () in
+          let a = Arena.build ~events:ctx.ev (model ctx app ~input) in
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.protect ctx.lock (fun () ->
+              ctx.n_arena_builds <- ctx.n_arena_builds + 1;
+              ctx.arena_seconds <- ctx.arena_seconds +. dt);
+          Option.iter (fun c -> Arena_cache.store c ~key a) ctx.arena_cache;
+          a)
 
 let lbr_predictor kb () =
   let p = Tage_scl.predictor (Sizes.for_budget ~kb) in
@@ -162,9 +232,15 @@ let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
   let key = profile_key ctx app ~inputs ~kb in
   memo ctx ctx.profiles key (fun () ->
       let one input =
-        Profile.collect ~lengths:Workloads.lengths ~events:ctx.ev
-          ~make_source:(fun () -> source ctx app ~input)
-          ~make_predictor:(lbr_predictor kb) ()
+        match ctx.replay_mode with
+        | `Arena ->
+            Profile.collect_arena ~lengths:Workloads.lengths ~events:ctx.ev
+              ~arena:(arena ctx app ~input)
+              ~make_predictor:(lbr_predictor kb) ()
+        | `Closure ->
+            Profile.collect ~lengths:Workloads.lengths ~events:ctx.ev
+              ~make_source:(fun () -> source ctx app ~input)
+              ~make_predictor:(lbr_predictor kb) ()
       in
       match inputs with
       | [ input ] -> one input
@@ -183,15 +259,59 @@ let whisper_plan ?(config = Whisper_core.Config.default)
     ?(train_inputs = [ 0 ]) ?(jobs = 1) ctx app =
   let analysis = whisper_analysis ~config ~train_inputs ~jobs ctx app in
   let cfg = cfg_of ctx app in
-  Whisper_core.Inject.plan config cfg
-    ~source:(source ctx app ~input:(List.hd train_inputs))
+  let train_input = List.hd train_inputs in
+  let plan_source =
+    match ctx.replay_mode with
+    | `Arena when ctx.ev >= Whisper_core.Inject.default_trace_events ->
+        Arena.source (arena ctx app ~input:train_input)
+    | `Arena | `Closure -> source ctx app ~input:train_input
+  in
+  Whisper_core.Inject.plan config cfg ~source:plan_source
     ~hints:(Whisper_core.Analyze.to_inject_hints analysis cfg)
 
-(* Build the per-event exec closure for a technique. *)
+(* Offline training shared by both replay paths: each of these returns a
+   fresh technique runtime whose state is independent of how events will
+   be fed to it, so the closure and arena execs below stay byte-identical
+   by construction. *)
+let baseline_of ~kb = Tage_scl.predictor (Sizes.for_budget ~kb)
+
+let rombf_runtime ctx app ~train_inputs ~kb n =
+  let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
+  let spec = Whisper_rombf.Rombf.train ~n prof in
+  Whisper_rombf.Rombf.Runtime.create spec ~baseline:(baseline_of ~kb)
+
+let branchnet_runtime ctx app ~train_inputs ~kb budget =
+  let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
+  let spec = Whisper_branchnet.Branchnet.train ~budget prof in
+  Whisper_branchnet.Branchnet.Runtime.create spec ~baseline:(baseline_of ~kb)
+
+let whisper_runtime ctx app ~train_inputs ~kb config =
+  let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
+  let analysis = Whisper_core.Analyze.run ~config prof in
+  let cfg = cfg_of ctx app in
+  let train_input = List.hd train_inputs in
+  (* The injection plan's correlation pass consumes a fixed-length trace
+     (Inject.default_trace_events) regardless of [ctx.ev]; replay it from
+     the packed arena when the arena covers it, otherwise fall back to a
+     fresh closure source.  Both emit the same stream prefix, so the plan
+     is identical either way. *)
+  let plan_source =
+    match ctx.replay_mode with
+    | `Arena when ctx.ev >= Whisper_core.Inject.default_trace_events ->
+        Arena.source (arena ctx app ~input:train_input)
+    | `Arena | `Closure -> source ctx app ~input:train_input
+  in
+  let plan =
+    Whisper_core.Inject.plan config cfg ~source:plan_source
+      ~hints:(Whisper_core.Analyze.to_inject_hints analysis cfg)
+  in
+  Whisper_core.Runtime.create config ~baseline:(baseline_of ~kb) ~plan
+
+(* Build the per-event exec closure for a technique (closure replay). *)
 let make_exec ctx app technique ~train_inputs ~kb =
   match technique with
   | Baseline ->
-      let p = Tage_scl.predictor (Sizes.for_budget ~kb) in
+      let p = baseline_of ~kb in
       fun (e : Branch.event) ->
         let pred = p.Predictor.predict ~pc:e.pc in
         p.train ~pc:e.pc ~taken:e.taken;
@@ -204,36 +324,52 @@ let make_exec ctx app technique ~train_inputs ~kb =
         p.train ~pc:e.pc ~taken:e.taken;
         pred = e.taken
   | Rombf n ->
-      let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
-      let spec = Whisper_rombf.Rombf.train ~n prof in
-      let rt =
-        Whisper_rombf.Rombf.Runtime.create spec
-          ~baseline:(Tage_scl.predictor (Sizes.for_budget ~kb))
-      in
+      let rt = rombf_runtime ctx app ~train_inputs ~kb n in
       fun e -> Whisper_rombf.Rombf.Runtime.exec rt e
   | Branchnet budget ->
-      let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
-      let spec = Whisper_branchnet.Branchnet.train ~budget prof in
-      let rt =
-        Whisper_branchnet.Branchnet.Runtime.create spec
-          ~baseline:(Tage_scl.predictor (Sizes.for_budget ~kb))
-      in
+      let rt = branchnet_runtime ctx app ~train_inputs ~kb budget in
       fun e -> Whisper_branchnet.Branchnet.Runtime.exec rt e
   | Whisper config ->
-      let prof = profile ~inputs:train_inputs ~baseline_kb:kb ctx app in
-      let analysis = Whisper_core.Analyze.run ~config prof in
-      let cfg = cfg_of ctx app in
-      let plan =
-        Whisper_core.Inject.plan config cfg
-          ~source:(source ctx app ~input:(List.hd train_inputs))
-          ~hints:(Whisper_core.Analyze.to_inject_hints analysis cfg)
-      in
-      let rt =
-        Whisper_core.Runtime.create config
-          ~baseline:(Tage_scl.predictor (Sizes.for_budget ~kb))
-          ~plan
-      in
+      let rt = whisper_runtime ctx app ~train_inputs ~kb config in
       fun e -> Whisper_core.Runtime.exec rt e
+
+(* Same runtimes fed by event index over a packed arena: the predict
+   closures read unboxed fields straight out of the arena's buffers, so
+   the whole replay path allocates nothing per event. *)
+let make_exec_arena ctx app technique ~train_inputs ~kb ~arena:a =
+  match technique with
+  | Baseline ->
+      let p = baseline_of ~kb in
+      fun i ->
+        let pc = Arena.pc a i in
+        let taken = Arena.taken a i in
+        let pred = p.Predictor.predict ~pc in
+        p.train ~pc ~taken;
+        pred = taken
+  | Ideal -> fun (_ : int) -> true
+  | Mtage_sc ->
+      let p = Mtage.predictor () in
+      fun i ->
+        let pc = Arena.pc a i in
+        let taken = Arena.taken a i in
+        let pred = p.Predictor.predict ~pc in
+        p.train ~pc ~taken;
+        pred = taken
+  | Rombf n ->
+      let rt = rombf_runtime ctx app ~train_inputs ~kb n in
+      fun i ->
+        Whisper_rombf.Rombf.Runtime.exec_at rt ~pc:(Arena.pc a i)
+          ~taken:(Arena.taken a i)
+  | Branchnet budget ->
+      let rt = branchnet_runtime ctx app ~train_inputs ~kb budget in
+      fun i ->
+        Whisper_branchnet.Branchnet.Runtime.exec_at rt ~pc:(Arena.pc a i)
+          ~taken:(Arena.taken a i)
+  | Whisper config ->
+      let rt = whisper_runtime ctx app ~train_inputs ~kb config in
+      fun i ->
+        Whisper_core.Runtime.exec_at rt ~block:(Arena.block a i)
+          ~pc:(Arena.pc a i) ~taken:(Arena.taken a i)
 
 let run_key ctx app technique ~train_inputs ~test_input ~kb =
   Printf.sprintf "%s/%s/%s/%d/%d/%d" app.Workloads.name
@@ -285,11 +421,21 @@ let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
         | None ->
             if ctx.cache <> None then bump_miss ctx;
             let t0 = Unix.gettimeofday () in
-            let exec = make_exec ctx app technique ~train_inputs ~kb in
             let r =
-              Whisper_pipeline.Machine.run ~events:ctx.ev
-                ~source:(source ctx app ~input:test_input)
-                ~predict:exec ()
+              match ctx.replay_mode with
+              | `Arena ->
+                  let a = arena ctx app ~input:test_input in
+                  let exec =
+                    make_exec_arena ctx app technique ~train_inputs ~kb
+                      ~arena:a
+                  in
+                  Whisper_pipeline.Machine.run_arena ~events:ctx.ev ~arena:a
+                    ~predict:exec ()
+              | `Closure ->
+                  let exec = make_exec ctx app technique ~train_inputs ~kb in
+                  Whisper_pipeline.Machine.run ~events:ctx.ev
+                    ~source:(source ctx app ~input:test_input)
+                    ~predict:exec ()
             in
             let dt = Unix.gettimeofday () -. t0 in
             Mutex.protect ctx.lock (fun () ->
@@ -315,6 +461,10 @@ type work =
       inputs : int list;
       baseline_kb : int option;
     }
+  | Prepare of { app : Workloads.config; input : int }
+      (* internal: build/load one (app, input) arena before the phases
+         that replay it fan out, so racing domains never build the same
+         arena twice *)
 
 let sim ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb app technique =
   Sim { app; technique; train_inputs; test_input; baseline_kb }
@@ -331,6 +481,7 @@ let work_key ctx = function
       "profile/"
       ^ profile_key ctx w.app ~inputs:w.inputs
           ~kb:(Option.value w.baseline_kb ~default:ctx.base_kb)
+  | Prepare w -> arena_key ctx w.app ~input:w.input
 
 let exec_work ctx = function
   | Sim w ->
@@ -339,6 +490,7 @@ let exec_work ctx = function
            ?baseline_kb:w.baseline_kb ctx w.app w.technique)
   | Collect w ->
       ignore (profile ~inputs:w.inputs ?baseline_kb:w.baseline_kb ctx w.app)
+  | Prepare w -> ignore (arena ctx w.app ~input:w.input)
 
 (* Profiles a Sim's training step will need, declared explicitly so the
    batch driver can collect each one exactly once before the simulations
@@ -361,8 +513,51 @@ let implied_collects ctx works =
           in
           if cached then None
           else Some (collect ~inputs:w.train_inputs ~baseline_kb:kb w.app)
-      | Sim _ | Collect _ -> None)
+      | Sim _ | Collect _ | Prepare _ -> None)
     works
+
+(* The arenas the collect and sim phases will replay, one Prepare item
+   per distinct (app, input).  Quarantining a Prepare under chaos is
+   harmless: the consumer simply rebuilds the arena inline. *)
+let implied_arenas ctx ~collects ~simulations =
+  if ctx.replay_mode <> `Arena then []
+  else
+    let seen = Hashtbl.create 16 in
+    let add acc app input =
+      let k = arena_key ctx app ~input in
+      if Hashtbl.mem seen k || Hashtbl.mem ctx.arenas k then acc
+      else begin
+        Hashtbl.add seen k ();
+        Prepare { app; input } :: acc
+      end
+    in
+    let acc =
+      List.fold_left
+        (fun acc -> function
+          | Collect w -> List.fold_left (fun acc i -> add acc w.app i) acc w.inputs
+          | Sim _ | Prepare _ -> acc)
+        [] collects
+    in
+    let acc =
+      List.fold_left
+        (fun acc -> function
+          | Sim w ->
+              let kb = Option.value w.baseline_kb ~default:ctx.base_kb in
+              let key =
+                run_key ctx w.app w.technique ~train_inputs:w.train_inputs
+                  ~test_input:w.test_input ~kb
+              in
+              let cached =
+                Hashtbl.mem ctx.results key
+                || Option.fold ~none:false
+                     ~some:(fun c -> Sys.file_exists (Result_cache.path c ~key))
+                     ctx.cache
+              in
+              if cached then acc else add acc w.app w.test_input
+          | Collect _ | Prepare _ -> acc)
+        acc simulations
+    in
+    List.rev acc
 
 let dedup ctx works =
   let seen = Hashtbl.create 64 in
@@ -434,9 +629,12 @@ let run_phase ctx works =
 let run_batch ctx works =
   let works = dedup ctx works in
   let collects, simulations =
-    List.partition (function Collect _ -> true | Sim _ -> false) works
+    List.partition (function Collect _ | Prepare _ -> true | Sim _ -> false)
+      works
   in
-  run_phase ctx (dedup ctx (collects @ implied_collects ctx simulations));
+  let collects = dedup ctx (collects @ implied_collects ctx simulations) in
+  run_phase ctx (implied_arenas ctx ~collects ~simulations);
+  run_phase ctx collects;
   run_phase ctx simulations
 
 let fault_summary ctx =
@@ -446,11 +644,21 @@ let fault_summary ctx =
     | Some f -> Whisper_util.Fault.injected f
   in
   let cache_write_failures, cache_corrupt_dropped =
-    match ctx.cache with
-    | None -> (0, 0)
-    | Some c ->
-        let k = Result_cache.counters c in
-        (k.Result_cache.write_failures, k.Result_cache.corrupt_dropped)
+    let rw, rd =
+      match ctx.cache with
+      | None -> (0, 0)
+      | Some c ->
+          let k = Result_cache.counters c in
+          (k.Result_cache.write_failures, k.Result_cache.corrupt_dropped)
+    in
+    let aw, ad =
+      match ctx.arena_cache with
+      | None -> (0, 0)
+      | Some c ->
+          let k = Arena_cache.counters c in
+          (k.Arena_cache.write_failures, k.Arena_cache.corrupt_dropped)
+    in
+    (rw + aw, rd + ad)
   in
   Mutex.protect ctx.lock (fun () ->
       {

@@ -32,10 +32,19 @@ type ctx
 (** Holds caches; create one per process/figure batch.  All operations
     on a [ctx] are safe to call from multiple pool workers. *)
 
+type replay = [ `Arena | `Closure ]
+(** How simulations feed the timing model: [`Arena] (the default)
+    materializes each (app, input) event stream once into a packed
+    {!Whisper_trace.Arena} shared by every technique and pool domain;
+    [`Closure] regenerates the stream through [App_model.source] per
+    simulation — kept as the differential oracle.  Results are
+    byte-identical between the two modes. *)
+
 val create_ctx :
   ?events:int ->
   ?baseline_kb:int ->
   ?jobs:int ->
+  ?replay:replay ->
   ?cache_dir:string ->
   ?faults:float ->
   ?fault_seed:int ->
@@ -45,8 +54,10 @@ val create_ctx :
   unit ->
   ctx
 (** Defaults: 1.2 M branch events per simulation, 64 KB baseline, one
-    worker domain, no persistent cache.  [cache_dir] enables the on-disk
-    result cache rooted at that directory (created if missing).
+    worker domain, no persistent cache, [`Arena] replay.  [cache_dir]
+    enables the on-disk result cache rooted at that directory (created
+    if missing), plus the arena cache in its [arenas/] subdirectory so
+    packed replay buffers survive CLI invocations too.
 
     Chaos/degraded mode: [faults > 0.0] turns on deterministic fault
     injection (a {!Whisper_util.Fault.t} seeded with [fault_seed],
@@ -70,6 +81,8 @@ val jobs : ctx -> int
     parallel row computations). *)
 
 val set_jobs : ctx -> int -> unit
+val replay : ctx -> replay
+val set_replay : ctx -> replay -> unit
 val cache_dir : ctx -> string option
 
 type stats = {
@@ -77,6 +90,10 @@ type stats = {
   sim_seconds : float;  (** wall time summed over those simulations *)
   cache_hits : int;  (** results served from the persistent cache *)
   cache_misses : int;  (** persistent-cache lookups that missed *)
+  arena_builds : int;  (** packed arenas generated in-process *)
+  arena_seconds : float;  (** wall time summed over those builds *)
+  arena_cache_hits : int;  (** arenas loaded from the persistent cache *)
+  arena_cache_misses : int;  (** arena-cache lookups that missed *)
 }
 
 val stats : ctx -> stats
@@ -84,6 +101,36 @@ val stats : ctx -> stats
     experiment to report its cost ({!Report.with_timing}). *)
 
 val cfg_of : ctx -> Whisper_trace.Workloads.config -> Whisper_trace.Cfg.t
+
+val arena :
+  ctx -> Whisper_trace.Workloads.config -> input:int -> Whisper_trace.Arena.t
+(** The memoized packed arena for (app, input) at the ctx's current
+    event count, consulting (and populating) the persistent arena cache
+    when one is enabled.  Immutable — share freely across domains. *)
+
+val make_exec :
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  technique ->
+  train_inputs:int list ->
+  kb:int ->
+  Whisper_trace.Branch.event ->
+  bool
+(** A fresh technique runtime (trained offline where needed) as a
+    per-event exec closure for {!Whisper_pipeline.Machine.run}. *)
+
+val make_exec_arena :
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  technique ->
+  train_inputs:int list ->
+  kb:int ->
+  arena:Whisper_trace.Arena.t ->
+  int ->
+  bool
+(** The same runtime fed by event index over [arena], for
+    {!Whisper_pipeline.Machine.run_arena} — reads unboxed fields
+    straight from the packed buffers. *)
 
 val profile :
   ?inputs:int list ->

@@ -18,6 +18,13 @@ type t = {
   mutable cur_session : int array;  (* block order being executed *)
   mutable pos : int;
   mutable count : int;
+  (* one-event scratch buffers backing [next], so the single-event path is
+     the n=1 case of [fill] rather than a second copy of the walk logic *)
+  s_block : int array;
+  s_pc : int array;
+  s_instrs : int array;
+  s_next_addr : int array;
+  s_taken : Bytes.t;
 }
 
 (* Build the session catalogue: which functions each request type touches,
@@ -121,41 +128,69 @@ let create ?(lengths = Workloads.lengths) ?(chunk = 8) ~cfg ~config ~input () =
       cur_session = [||];
       pos = 0;
       count = 0;
+      s_block = Array.make 1 0;
+      s_pc = Array.make 1 0;
+      s_instrs = Array.make 1 0;
+      s_next_addr = Array.make 1 0;
+      s_taken = Bytes.make 1 '\000';
     }
   in
   t.cur_session <- t.session_blocks.(sample_session t);
   t.pos <- 0;
   t
 
-let next t =
-  let cur = t.cur_session.(t.pos) in
-  let blk = t.cfg.blocks.(cur) in
-  let taken = Behavior.eval t.ctx ~rng:t.rng ~branch:cur t.behaviors.(cur) in
-  Behavior.record t.ctx taken;
-  (* A taken loop-back branch re-executes its own block; otherwise the walk
-     advances through the session, switching sessions at the end. *)
-  let succ_block =
-    if taken && blk.loop_back then cur
-    else begin
-      if t.pos + 1 >= Array.length t.cur_session then begin
-        t.cur_session <- t.session_blocks.(sample_session t);
-        t.pos <- 0
+(* Bulk fill: advance the walk by [n] events, writing each event's fields
+   straight into caller-provided structure-of-arrays buffers (the taken
+   bits land in a bitset).  Nothing is allocated per event — this is the
+   decode-once path backing {!Arena.build}. *)
+let fill t ~n ~block ~pc ~instrs ~next_addr ~taken =
+  if
+    n < 0
+    || n > Array.length block
+    || n > Array.length pc
+    || n > Array.length instrs
+    || n > Array.length next_addr
+    || (n + 7) / 8 > Bytes.length taken
+  then invalid_arg "App_model.fill: buffers shorter than n";
+  for i = 0 to n - 1 do
+    let cur = t.cur_session.(t.pos) in
+    let blk = t.cfg.blocks.(cur) in
+    let tk = Behavior.eval t.ctx ~rng:t.rng ~branch:cur t.behaviors.(cur) in
+    Behavior.record t.ctx tk;
+    (* A taken loop-back branch re-executes its own block; otherwise the
+       walk advances through the session, switching sessions at the end. *)
+    let succ_block =
+      if tk && blk.loop_back then cur
+      else begin
+        if t.pos + 1 >= Array.length t.cur_session then begin
+          t.cur_session <- t.session_blocks.(sample_session t);
+          t.pos <- 0
+        end
+        else t.pos <- t.pos + 1;
+        t.cur_session.(t.pos)
       end
-      else t.pos <- t.pos + 1;
-      t.cur_session.(t.pos)
-    end
-  in
-  let event =
-    {
-      Branch.block = cur;
-      pc = blk.branch_pc;
-      taken;
-      instrs = blk.instrs;
-      next_addr = t.cfg.blocks.(succ_block).addr;
-    }
-  in
-  t.count <- t.count + 1;
-  event
+    in
+    Array.unsafe_set block i cur;
+    Array.unsafe_set pc i blk.branch_pc;
+    Array.unsafe_set instrs i blk.instrs;
+    Array.unsafe_set next_addr i t.cfg.blocks.(succ_block).addr;
+    let byte = Char.code (Bytes.unsafe_get taken (i lsr 3)) in
+    let bit = 1 lsl (i land 7) in
+    let byte' = if tk then byte lor bit else byte land lnot bit in
+    Bytes.unsafe_set taken (i lsr 3) (Char.unsafe_chr (byte' land 0xff));
+    t.count <- t.count + 1
+  done
+
+let next t =
+  fill t ~n:1 ~block:t.s_block ~pc:t.s_pc ~instrs:t.s_instrs
+    ~next_addr:t.s_next_addr ~taken:t.s_taken;
+  {
+    Branch.block = t.s_block.(0);
+    pc = t.s_pc.(0);
+    taken = Char.code (Bytes.get t.s_taken 0) land 1 = 1;
+    instrs = t.s_instrs.(0);
+    next_addr = t.s_next_addr.(0);
+  }
 
 let source t () = next t
 let ctx t = t.ctx

@@ -28,6 +28,21 @@ val create :
 val source : t -> Branch.source
 (** The event stream.  Each call advances the model by one block. *)
 
+val fill :
+  t ->
+  n:int ->
+  block:int array ->
+  pc:int array ->
+  instrs:int array ->
+  next_addr:int array ->
+  taken:Bytes.t ->
+  unit
+(** Bulk decode path: advance the model by [n] events, writing event [i]'s
+    fields into index [i] of each buffer ([taken] is a bitset, bit [i] of
+    byte [i/8]).  Allocates nothing per event.  [source] is the [n = 1]
+    case of this loop, so the two paths emit byte-identical streams.
+    @raise Invalid_argument if any buffer is shorter than [n]. *)
+
 val ctx : t -> Behavior.ctx
 (** The live evaluation context (exposed for tests and for profilers that
     want ground-truth hashes without recomputing them). *)

@@ -188,18 +188,19 @@ let reservoir_sample t rng ~pc ~max_samples ~raw8 ~raw56 ~hashes ~taken ~correct
       write_sample t s ~slot:j ~raw8 ~raw56 ~hashes ~taken ~correct
   end
 
-let collect ?(max_candidates = 2048) ?(min_mispred = 8) ?(max_samples = 512)
-    ?(chunk = 8) ~lengths ~events ~make_source ~make_predictor () =
+(* Shared two-pass core.  [iter] replays the same [events]-long event
+   stream from the start on every call, invoking its callback once per
+   event — the closure path instantiates a fresh source each time, the
+   arena path walks the packed buffers by index.  Keeping one core means
+   the two paths produce byte-identical profiles by construction. *)
+let collect_core ?(max_candidates = 2048) ?(min_mispred = 8)
+    ?(max_samples = 512) ?(chunk = 8) ~lengths ~iter ~make_predictor () =
   let t = create_empty ~chunk ~lengths () in
   (* Pass 1: aggregate statistics against a fresh baseline predictor. *)
-  let src = make_source () in
   let predict = make_predictor () in
-  for _ = 1 to events do
-    let e = src () in
-    let correct = predict ~pc:e.Branch.pc ~taken:e.Branch.taken in
-    record_event t ~pc:e.Branch.pc ~taken:e.Branch.taken ~correct
-      ~instrs:e.Branch.instrs
-  done;
+  iter (fun ~pc ~taken ~instrs ->
+      let correct = predict ~pc ~taken in
+      record_event t ~pc ~taken ~correct ~instrs);
   (* Candidate selection: most-mispredicting branches first. *)
   let ranked =
     Hashtbl.fold (fun pc s acc -> (pc, s.mispred) :: acc) t.stats []
@@ -215,7 +216,6 @@ let collect ?(max_candidates = 2048) ?(min_mispred = 8) ?(max_samples = 512)
   (* Pass 2: replay the same trace, recording samples for candidates.  The
      profiler reconstructs hashed histories from the event stream alone —
      it never peeks at the workload model's internals. *)
-  let src = make_source () in
   let predict = make_predictor () in
   let max_len = Array.fold_left max 1 lengths in
   let hist = History.create ~depth:(max 64 (2 * max_len)) in
@@ -223,21 +223,44 @@ let collect ?(max_candidates = 2048) ?(min_mispred = 8) ?(max_samples = 512)
   let nl = Array.length lengths in
   let hashes = Array.make nl 0 in
   let rng = Rng.create 0x5EED5 in
-  for _ = 1 to events do
-    let e = src () in
-    let correct = predict ~pc:e.Branch.pc ~taken:e.Branch.taken in
-    if Hashtbl.mem candidate_set e.Branch.pc then begin
-      let raw8 = History.raw_window hist 8 in
-      let raw56 = History.raw_window hist 56 in
-      for i = 0 to nl - 1 do
-        hashes.(i) <- History.Folded.value folded.(i)
-      done;
-      reservoir_sample t rng ~pc:e.Branch.pc ~max_samples ~raw8 ~raw56 ~hashes
-        ~taken:e.Branch.taken ~correct
-    end;
-    History.push_all hist folded e.Branch.taken
-  done;
+  iter (fun ~pc ~taken ~instrs:_ ->
+      let correct = predict ~pc ~taken in
+      if Hashtbl.mem candidate_set pc then begin
+        let raw8 = History.raw_window hist 8 in
+        let raw56 = History.raw_window hist 56 in
+        for i = 0 to nl - 1 do
+          hashes.(i) <- History.Folded.value folded.(i)
+        done;
+        reservoir_sample t rng ~pc ~max_samples ~raw8 ~raw56 ~hashes ~taken
+          ~correct
+      end;
+      History.push_all hist folded taken);
   t
+
+let collect ?max_candidates ?min_mispred ?max_samples ?chunk ~lengths ~events
+    ~make_source ~make_predictor () =
+  let iter f =
+    let src = make_source () in
+    for _ = 1 to events do
+      let e = src () in
+      f ~pc:e.Branch.pc ~taken:e.Branch.taken ~instrs:e.Branch.instrs
+    done
+  in
+  collect_core ?max_candidates ?min_mispred ?max_samples ?chunk ~lengths ~iter
+    ~make_predictor ()
+
+let collect_arena ?max_candidates ?min_mispred ?max_samples ?chunk ~lengths
+    ~events ~arena ~make_predictor () =
+  if events > Arena.length arena then
+    invalid_arg "Profile.collect_arena: events exceeds arena length";
+  let iter f =
+    for i = 0 to events - 1 do
+      f ~pc:(Arena.pc arena i) ~taken:(Arena.taken arena i)
+        ~instrs:(Arena.instrs arena i)
+    done
+  in
+  collect_core ?max_candidates ?min_mispred ?max_samples ?chunk ~lengths ~iter
+    ~make_predictor ()
 
 let merge profiles =
   match profiles with

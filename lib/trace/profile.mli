@@ -98,6 +98,24 @@ val collect :
     Defaults: [max_candidates] 2048, [min_mispred] 8, [max_samples] 512
     per branch, [chunk] 8. *)
 
+val collect_arena :
+  ?max_candidates:int ->
+  ?min_mispred:int ->
+  ?max_samples:int ->
+  ?chunk:int ->
+  lengths:int array ->
+  events:int ->
+  arena:Arena.t ->
+  make_predictor:(unit -> pc:int -> taken:bool -> bool) ->
+  unit ->
+  t
+(** Same two-pass collection replayed from a packed {!Arena} instead of a
+    closure source: both passes walk the arena by index, so the stream is
+    generated zero times here (and zero bytes are allocated per event).
+    Shares its implementation with {!collect} — for equal streams the two
+    produce byte-identical profiles.
+    @raise Invalid_argument if [events] exceeds the arena's length. *)
+
 (** {1 Merging (paper Fig. 18)} *)
 
 val merge : t list -> t

@@ -76,6 +76,10 @@ module Folded = struct
     t.value <- rot lxor incoming lxor (outgoing lsl t.out_pos)
 end
 
+(* Explicit loop: [Array.iter] would allocate the capturing closure on
+   every call, and this runs once per event under every TAGE instance. *)
 let push_all t regs taken =
-  Array.iter (fun r -> Folded.update r ~history:t ~newest:taken) regs;
+  for i = 0 to Array.length regs - 1 do
+    Folded.update (Array.unsafe_get regs i) ~history:t ~newest:taken
+  done;
   push t taken

@@ -4,6 +4,7 @@ type stage =
   | Profile_io
   | Plan_io
   | Result_cache
+  | Arena_cache
   | Task
   | Injected
 
@@ -39,6 +40,7 @@ let stage_name = function
   | Profile_io -> "profile-io"
   | Plan_io -> "plan-io"
   | Result_cache -> "result-cache"
+  | Arena_cache -> "arena-cache"
   | Task -> "task"
   | Injected -> "injected"
 

@@ -16,6 +16,7 @@ type stage =
   | Profile_io  (** profile files shipped from the fleet *)
   | Plan_io  (** hint-injection plans *)
   | Result_cache  (** persistent result-cache entries *)
+  | Arena_cache  (** packed trace-replay arenas (in-memory codec + disk cache) *)
   | Task  (** a batch work item (simulation / collection) *)
   | Injected  (** a fault planted by {!Fault} *)
 

@@ -81,6 +81,15 @@ let plan_bytes =
   let by_host = Hashtbl.create 8 in
   Plan_io.to_bytes { Inject.placements; by_host; dropped = 1 }
 
+let arena_of_tiny () =
+  Arena.build ~events:2_000 (App_model.create ~cfg ~config:tiny_config ~input:0 ())
+
+let arena_entry_key = "fuzz/arena/fuzz-app/99/0/2000"
+let arena_bytes = Arena.to_bytes (arena_of_tiny ())
+
+let arena_cache_bytes =
+  Whisper_sim.Arena_cache.encode ~key:arena_entry_key (arena_of_tiny ())
+
 let cache_key = "fuzz/cassandra/whisper/0/1/64/2000"
 
 let cache_bytes =
@@ -160,6 +169,18 @@ let decoders =
       cache_bytes,
       fun b ->
         match Whisper_sim.Result_cache.decode ~key:cache_key b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "arena",
+      arena_bytes,
+      fun b ->
+        match Arena.of_bytes b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "arena_cache",
+      arena_cache_bytes,
+      fun b ->
+        match Whisper_sim.Arena_cache.decode ~key:arena_entry_key b with
         | Ok _ -> None
         | Error e -> Some (Whisper_error.to_string e) );
   ]
@@ -257,6 +278,83 @@ let test_scorer_equivalence () =
     [ `Classic; `Extended ]
 
 (* ------------------------------------------------------------------ *)
+(* Arena replay equivalence and chaos recovery                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The packed arena must replay exactly the stream App_model.source
+   would have generated, for arbitrary workload shapes — not just the
+   configs the deterministic tests happen to pin. *)
+let test_arena_replay_equals_closure_random_configs () =
+  let rng = Rng.create (seed lxor 0xA7E4A) in
+  let config_cases = max 8 (cases / 100) in
+  for case = 1 to config_cases do
+    let config =
+      {
+        (Option.get (Workloads.by_name "cassandra")) with
+        Workloads.name = Printf.sprintf "fuzz-arena-%d" case;
+        functions = 2 + Rng.int rng 8;
+        seed = Rng.int rng 10_000;
+      }
+    in
+    let cfg = Workloads.build_cfg config in
+    let input = Rng.int rng 3 in
+    let events = 1 + Rng.int rng 4_000 in
+    let arena = Arena.build ~events (App_model.create ~cfg ~config ~input ()) in
+    let src = App_model.source (App_model.create ~cfg ~config ~input ()) in
+    check_int "arena length" events (Arena.length arena);
+    for i = 0 to events - 1 do
+      let e = src () in
+      if Arena.event arena i <> e then
+        Alcotest.failf "config %d: event %d diverges (seed %d)" case i seed
+    done;
+    (* the codec round-trips the packed buffers bit-exactly *)
+    match Arena.of_bytes (Arena.to_bytes arena) with
+    | Ok a -> check_bool "codec round trip" true (Arena.equal arena a)
+    | Error e -> Alcotest.failf "round trip rejected: %s" (Whisper_error.to_string e)
+  done
+
+let test_arena_cache_chaos_drop_and_regenerate () =
+  (* a cached arena corrupted in flight (rate-1.0 injector on the read
+     path) is dropped and counted, and the decode-once build is
+     deterministic, so regeneration restores the identical arena *)
+  let dir = "_test_fuzz_arena_cache" in
+  let arena = arena_of_tiny () in
+  let f = Whisper_util.Fault.create ~seed:17 ~rate:1.0 () in
+  let key =
+    (* pick a key the injector answers with a byte operator (Delay/Hang
+       leave bytes untouched and would make this test vacuous) *)
+    List.find
+      (fun key ->
+        match Whisper_util.Fault.decision f ~key with
+        | Whisper_util.Fault.Inject
+            (Truncate | Bit_flip | Byte_drop | Version_skew) ->
+            true
+        | _ -> false)
+      (List.init 32 (Printf.sprintf "fuzz/arena/chaos/%d"))
+  in
+  let c =
+    Whisper_sim.Arena_cache.create
+      ~corrupt:(fun ~key b -> Whisper_util.Fault.corrupt f ~key b)
+      ~dir ()
+  in
+  Whisper_sim.Arena_cache.store c ~key arena;
+  check_bool "corrupted read is a miss" true
+    (Whisper_sim.Arena_cache.find c ~key = None);
+  check_int "drop counted" 1
+    (Whisper_sim.Arena_cache.counters c)
+      .Whisper_sim.Arena_cache.corrupt_dropped;
+  check_bool "corrupt entry removed from disk" true
+    (not (Sys.file_exists (Whisper_sim.Arena_cache.path c ~key)));
+  let regen = arena_of_tiny () in
+  check_bool "regenerated arena identical" true (Arena.equal arena regen);
+  (* a clean cache (no injector) round-trips the regenerated arena *)
+  let clean = Whisper_sim.Arena_cache.create ~dir () in
+  Whisper_sim.Arena_cache.store clean ~key regen;
+  match Whisper_sim.Arena_cache.find clean ~key with
+  | Some a -> check_bool "clean round trip" true (Arena.equal arena a)
+  | None -> Alcotest.fail "clean cache lost the entry"
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial (not random) inputs                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -346,6 +444,10 @@ let () =
               test_fuzz_deterministic;
             test_case "packed scorer equals naive scorer" `Quick
               test_scorer_equivalence;
+            test_case "arena replay equals closure replay" `Quick
+              test_arena_replay_equals_closure_random_configs;
+            test_case "corrupt cached arena regenerates" `Quick
+              test_arena_cache_chaos_drop_and_regenerate;
             test_case "malicious varint" `Quick test_malicious_varint;
             test_case "malicious count" `Quick test_malicious_count;
             test_case "fault injector deterministic" `Quick

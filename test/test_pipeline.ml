@@ -157,6 +157,76 @@ let test_machine_segments () =
   check_int "instr segments sum" r.Machine.instrs
     (Array.fold_left ( + ) 0 r.Machine.seg_instrs)
 
+(* events = 0 and events < segments must spread evenly, with no
+   front-loaded segments and no skew, identically on both replay paths *)
+let test_machine_segment_edges () =
+  let app = tiny_app () in
+  let cfg = Workloads.build_cfg app in
+  let run_n events =
+    let src = App_model.source (App_model.create ~cfg ~config:app ~input:0 ()) in
+    Machine.run ~events ~source:src ~predict:(fun _ -> true) ()
+  in
+  let r0 = run_n 0 in
+  check_int "0 events: 10 segments" 10 (Array.length r0.Machine.seg_instrs);
+  check_int "0 events: no instrs" 0 (Array.fold_left ( + ) 0 r0.Machine.seg_instrs);
+  check_int "0 events: no mispredicts" 0
+    (Array.fold_left ( + ) 0 r0.Machine.seg_mispredicts);
+  let r3 = run_n 3 in
+  check_int "3 events: 10 segments" 10 (Array.length r3.Machine.seg_instrs);
+  check_int "3 events: instrs conserved" r3.Machine.instrs
+    (Array.fold_left ( + ) 0 r3.Machine.seg_instrs);
+  let nonzero =
+    Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 r3.Machine.seg_instrs
+  in
+  check_int "3 events spread over 3 segments" 3 nonzero;
+  (* events not divisible by segments: balanced, never front-loaded *)
+  let r15 = run_n 15 in
+  check_int "15 events: instrs conserved" r15.Machine.instrs
+    (Array.fold_left ( + ) 0 r15.Machine.seg_instrs);
+  let occupied =
+    Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 r15.Machine.seg_instrs
+  in
+  check_int "15 events occupy all 10 segments" 10 occupied
+
+(* the closure and arena paths share one accounting core; prove the
+   results are structurally identical, including per-segment arrays, at
+   an event count that exercises the uneven-partition case *)
+let test_machine_arena_equals_closure () =
+  let app = tiny_app () in
+  let cfg = Workloads.build_cfg app in
+  List.iter
+    (fun events ->
+      let closure =
+        let src =
+          App_model.source (App_model.create ~cfg ~config:app ~input:0 ())
+        in
+        let p = Whisper_bpu.Tage_scl.predictor Whisper_bpu.Sizes.standard in
+        Machine.run ~events ~source:src
+          ~predict:(fun e ->
+            let pred = p.Whisper_bpu.Predictor.predict ~pc:e.Branch.pc in
+            p.train ~pc:e.Branch.pc ~taken:e.Branch.taken;
+            pred = e.Branch.taken)
+          ()
+      in
+      let arena =
+        Arena.build ~events (App_model.create ~cfg ~config:app ~input:0 ())
+      in
+      let packed =
+        let p = Whisper_bpu.Tage_scl.predictor Whisper_bpu.Sizes.standard in
+        Machine.run_arena ~events ~arena
+          ~predict:(fun i ->
+            let pc = Arena.pc arena i in
+            let taken = Arena.taken arena i in
+            let pred = p.Whisper_bpu.Predictor.predict ~pc in
+            p.train ~pc ~taken;
+            pred = taken)
+          ()
+      in
+      check_bool
+        (Printf.sprintf "closure == arena at %d events" events)
+        true (closure = packed))
+    [ 0; 7; 10_000; 10_003 ]
+
 let test_params_table2 () =
   let p = Params.default in
   check_int "width" 6 p.Params.width;
@@ -188,6 +258,9 @@ let () =
               test_machine_mispredicts_expose_frontend;
             test_case "speedup" `Quick test_machine_speedup;
             test_case "segments" `Quick test_machine_segments;
+            test_case "segment edge cases" `Quick test_machine_segment_edges;
+            test_case "arena equals closure" `Quick
+              test_machine_arena_equals_closure;
             test_case "params table2" `Quick test_params_table2;
           ] );
     ]

@@ -331,6 +331,94 @@ let test_report_timing_line () =
     (Report.to_csv r = Report.to_csv { r with Report.timing = None })
 
 (* ------------------------------------------------------------------ *)
+(* Arena replay: closure equivalence, persistent arena cache          *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let arena_techniques =
+  [
+    Runner.Baseline;
+    Runner.Ideal;
+    Runner.Mtage_sc;
+    Runner.Rombf 4;
+    Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192);
+    Runner.Whisper Whisper_core.Config.default;
+  ]
+
+let test_arena_matches_closure_all_techniques () =
+  (* the packed-arena replay (default) must be byte-identical to the
+     closure-source oracle for every technique *)
+  let closure =
+    Runner.create_ctx ~events:det_events ~jobs:1 ~replay:`Closure ()
+  in
+  let arena = Runner.create_ctx ~events:det_events ~jobs:1 ~replay:`Arena () in
+  check_bool "modes stick" true
+    (Runner.replay closure = `Closure && Runner.replay arena = `Arena);
+  let a = app "cassandra" in
+  List.iter
+    (fun t ->
+      let rc = Runner.run closure a t in
+      let ra = Runner.run arena a t in
+      check_bool (Runner.technique_name t ^ " byte-identical") true (rc = ra))
+    arena_techniques;
+  check_bool "arena mode built arenas" true
+    ((Runner.stats arena).Runner.arena_builds > 0);
+  check_int "closure mode built none" 0
+    (Runner.stats closure).Runner.arena_builds
+
+let test_arena_cache_warm_and_corrupt () =
+  let dir = "_test_cache_arena" in
+  rm_rf dir;
+  let a = app "cassandra" in
+  let cold = Runner.create_ctx ~events:det_events ~jobs:1 ~cache_dir:dir () in
+  let built = Runner.arena cold a ~input:1 in
+  let s = Runner.stats cold in
+  check_int "cold: one build" 1 s.Runner.arena_builds;
+  check_int "cold: one cache miss" 1 s.Runner.arena_cache_misses;
+  check_int "cold: no hits" 0 s.Runner.arena_cache_hits;
+  (* the in-process memo short-circuits the second request entirely *)
+  ignore (Runner.arena cold a ~input:1);
+  check_int "memoized: no second lookup" 1
+    (Runner.stats cold).Runner.arena_cache_misses;
+  (* a fresh ctx over the same directory loads from disk, no rebuild *)
+  let warm = Runner.create_ctx ~events:det_events ~jobs:1 ~cache_dir:dir () in
+  let loaded = Runner.arena warm a ~input:1 in
+  let sw = Runner.stats warm in
+  check_int "warm: zero builds" 0 sw.Runner.arena_builds;
+  check_int "warm: one hit" 1 sw.Runner.arena_cache_hits;
+  check_string "warm arena identical"
+    (Whisper_trace.Arena.digest built)
+    (Whisper_trace.Arena.digest loaded);
+  (* corrupt every cached arena on disk: the next ctx must drop the
+     entries, count the drops, and regenerate an identical arena *)
+  let arenas_dir = Filename.concat dir Arena_cache.default_subdir in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".arena" then begin
+        let oc = open_out_bin (Filename.concat arenas_dir f) in
+        output_string oc "WARCgarbage";
+        close_out oc
+      end)
+    (Sys.readdir arenas_dir);
+  let fresh = Runner.create_ctx ~events:det_events ~jobs:1 ~cache_dir:dir () in
+  let regen = Runner.arena fresh a ~input:1 in
+  let sf = Runner.stats fresh in
+  check_int "corrupt entry: rebuilt" 1 sf.Runner.arena_builds;
+  check_int "corrupt entry: counted as a miss" 1 sf.Runner.arena_cache_misses;
+  check_string "regenerated arena identical"
+    (Whisper_trace.Arena.digest built)
+    (Whisper_trace.Arena.digest regen);
+  check_bool "corrupt drop reported in fault summary" true
+    ((Runner.fault_summary fresh).Report.cache_corrupt_dropped >= 1)
+
+(* ------------------------------------------------------------------ *)
 (* Chaos mode: fault injection, degradation, determinism              *)
 (* ------------------------------------------------------------------ *)
 
@@ -456,6 +544,14 @@ let () =
             test_case "run_batch dedups" `Quick test_run_batch_dedups;
             test_case "warm cache rerun" `Quick test_warm_cache_rerun;
             test_case "report timing line" `Quick test_report_timing_line;
+          ] );
+      ( "arena-replay",
+        Alcotest.
+          [
+            test_case "matches closure for every technique" `Quick
+              test_arena_matches_closure_all_techniques;
+            test_case "persistent cache: warm + corrupt recovery" `Quick
+              test_arena_cache_warm_and_corrupt;
           ] );
       ( "chaos",
         Alcotest.
