@@ -1,0 +1,215 @@
+(* Perf-regression and metrics-schema checker for CI.
+
+   Modes:
+     check_regression --kind search --baseline F --fresh F [--tolerance T]
+     check_regression --kind replay --baseline F --fresh F [--tolerance T]
+         Compare a freshly generated BENCH_*.json against the committed
+         baseline: every key speedup ratio must stay within the relative
+         tolerance band (default 0.30 = fail on >30%% regression), the
+         workload-shape equality fields must match when the two runs used
+         the same events/smoke settings, and the replay bench's measured
+         telemetry overhead must stay under max(5%%, 5 ns/event).
+
+     check_regression --metrics-valid FILE
+         Assert FILE is a schema-valid whisper-metrics document with
+         nonzero event and span counts.
+
+     check_regression --metrics-equal A B
+         Assert two metrics documents agree on every value-metric
+         (counters and histograms) after stripping the wall-time spans
+         section — the -j1 vs -j4 determinism contract. *)
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.eprintf "FAIL: %s\n" s)
+    fmt
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Whisper_util.Sjson.parse (read_file path) with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "FAIL: %s does not parse as JSON: %s\n" path e;
+      exit 1
+
+let num_field doc name =
+  Option.bind (Whisper_util.Sjson.member name doc) Whisper_util.Sjson.num
+
+let require_num path doc name =
+  match num_field doc name with
+  | Some v -> v
+  | None ->
+      Printf.eprintf "FAIL: %s is missing numeric field %S\n" path name;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_*.json comparison                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_fields = function
+  | `Search -> [ "scorer_speedup"; "find_speedup"; "search_speedup"; "decide_speedup" ]
+  | `Replay -> [ "replay_speedup"; "batch_cold_speedup"; "batch_delivery_speedup" ]
+
+(* Workload-shape fields: a mismatch means the two runs did different
+   work, which is a configuration error, not a perf regression — but
+   only when both runs used the same events/smoke settings. *)
+let equality_fields = function
+  | `Search -> [ "hints"; "candidate_branches"; "candidate_formulas" ]
+  | `Replay -> [ "batch_techniques" ]
+
+let same_workload baseline fresh =
+  num_field baseline "events" = num_field fresh "events"
+  && Whisper_util.Sjson.member "smoke" baseline
+     = Whisper_util.Sjson.member "smoke" fresh
+
+let check_bench kind ~baseline_path ~fresh_path ~tolerance =
+  let baseline = load baseline_path and fresh = load fresh_path in
+  List.iter
+    (fun name ->
+      let b = require_num baseline_path baseline name in
+      let f = require_num fresh_path fresh name in
+      let floor_v = b *. (1.0 -. tolerance) in
+      if f < floor_v then
+        fail "%s regressed: %.2f -> %.2f (tolerance floor %.2f)" name b f
+          floor_v
+      else note "%s: baseline %.2f, fresh %.2f (floor %.2f) ok" name b f floor_v)
+    (ratio_fields kind);
+  if same_workload baseline fresh then
+    List.iter
+      (fun name ->
+        let b = require_num baseline_path baseline name in
+        let f = require_num fresh_path fresh name in
+        if b <> f then fail "%s changed: %.0f -> %.0f" name b f
+        else note "%s: %.0f ok" name b)
+      (equality_fields kind)
+  else
+    note "events/smoke differ between baseline and fresh: skipping equality fields";
+  match kind with
+  | `Search -> ()
+  | `Replay -> (
+      (match Whisper_util.Sjson.(member "parallel_identical" fresh) with
+      | Some (Whisper_util.Sjson.Bool true) -> note "parallel_identical: true ok"
+      | _ -> fail "parallel_identical is not true in %s" fresh_path);
+      match
+        (num_field fresh "telemetry_on_ns_per_event",
+         num_field fresh "telemetry_off_ns_per_event")
+      with
+      | Some on_ns, Some off_ns ->
+          let budget = Float.max (0.05 *. off_ns) 5.0 in
+          if on_ns -. off_ns > budget then
+            fail
+              "telemetry overhead too high: %.2f - %.2f = %.2f ns/event \
+               (budget %.2f)"
+              on_ns off_ns (on_ns -. off_ns) budget
+          else
+            note "telemetry overhead: %.2f ns/event (budget %.2f) ok"
+              (on_ns -. off_ns) budget
+      | _ -> fail "%s is missing the telemetry overhead fields" fresh_path)
+
+(* ------------------------------------------------------------------ *)
+(* metrics.json checks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_metrics_valid path =
+  let doc = load path in
+  let open Whisper_util.Sjson in
+  (match member "schema" doc with
+  | Some (Str "whisper-metrics") -> note "schema: whisper-metrics ok"
+  | _ -> fail "%s: schema member is not \"whisper-metrics\"" path);
+  (match Option.bind (member "version" doc) int with
+  | Some v when v = Whisper_util.Telemetry.schema_version ->
+      note "version: %d ok" v
+  | Some v ->
+      fail "%s: version %d, expected %d" path v
+        Whisper_util.Telemetry.schema_version
+  | None -> fail "%s: missing version" path);
+  (match member "counters" doc with
+  | Some (Obj members) ->
+      if members = [] then fail "%s: counters object is empty" path
+      else begin
+        let nonzero =
+          List.exists
+            (fun (_, v) -> match num v with Some f -> f > 0.0 | None -> false)
+            members
+        in
+        if nonzero then note "counters: %d, some nonzero ok" (List.length members)
+        else fail "%s: every counter is zero" path
+      end
+  | _ -> fail "%s: missing counters object" path);
+  (match Option.bind (member "counters" doc) (member "machine.events") with
+  | Some v when num v > Some 0.0 -> note "machine.events nonzero ok"
+  | _ -> fail "%s: machine.events counter is missing or zero" path);
+  match Option.bind (member "spans" doc) (member "count") with
+  | Some v when num v > Some 0.0 -> note "spans.count nonzero ok"
+  | _ -> fail "%s: spans.count is missing or zero" path
+
+let check_metrics_equal a_path b_path =
+  let a = Whisper_util.Telemetry.strip_wall_time (load a_path) in
+  let b = Whisper_util.Telemetry.strip_wall_time (load b_path) in
+  let sa = Whisper_util.Sjson.to_string a in
+  let sb = Whisper_util.Sjson.to_string b in
+  if String.equal sa sb then
+    note "value metrics identical (%d bytes compared)" (String.length sa)
+  else
+    fail
+      "value metrics differ between %s and %s after stripping wall-time spans"
+      a_path b_path
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: check_regression --kind search|replay --baseline F --fresh F \
+     [--tolerance T]\n\
+    \       check_regression --metrics-valid FILE\n\
+    \       check_regression --metrics-equal A B";
+  exit 2
+
+let () =
+  let args = Array.to_list Sys.argv in
+  (match args with
+  | _ :: "--metrics-valid" :: path :: [] -> check_metrics_valid path
+  | _ :: "--metrics-equal" :: a :: b :: [] -> check_metrics_equal a b
+  | _ :: rest ->
+      let opts = Hashtbl.create 8 in
+      let rec parse = function
+        | [] -> ()
+        | key :: value :: rest when String.length key > 2 && String.sub key 0 2 = "--" ->
+            Hashtbl.replace opts (String.sub key 2 (String.length key - 2)) value;
+            parse rest
+        | _ -> usage ()
+      in
+      parse rest;
+      let get name = Hashtbl.find_opt opts name in
+      let kind =
+        match get "kind" with
+        | Some "search" -> `Search
+        | Some "replay" -> `Replay
+        | _ -> usage ()
+      in
+      let baseline_path = match get "baseline" with Some p -> p | None -> usage () in
+      let fresh_path = match get "fresh" with Some p -> p | None -> usage () in
+      let tolerance =
+        match get "tolerance" with
+        | Some t -> float_of_string t
+        | None -> 0.30
+      in
+      check_bench kind ~baseline_path ~fresh_path ~tolerance
+  | [] -> usage ());
+  if !failures > 0 then begin
+    Printf.eprintf "%d check(s) failed\n" !failures;
+    exit 1
+  end
+  else print_endline "all checks passed"

@@ -633,6 +633,36 @@ let replay_bench () =
         done)
   in
   let delivery_speedup = closure_delivery_s /. arena_delivery_s in
+  (* --- telemetry overhead on the replay hot path: the same arena replay
+     through Machine.run_arena with recording enabled vs disabled.  The
+     instrumentation contract is flush-once-per-run (no per-event work),
+     so the difference should be noise-level; the perf gate holds it
+     under max(5%, 5 ns/event). *)
+  let telemetry_probe () =
+    ignore
+      (Whisper_pipeline.Machine.run_arena ~events:n_events ~arena
+         ~predict:(fun (_ : int) -> true)
+         ())
+  in
+  (* interleaved best-of-3 per side: the probe is memory-bound, so a
+     single window jitters (and the machine drifts) by several percent —
+     far more than the per-run flush.  Alternating the sides exposes
+     both to the same drift; the min discards the jitter. *)
+  let measure side_enabled =
+    Whisper_util.Telemetry.set_enabled side_enabled;
+    time_ns ~min_s telemetry_probe /. fe
+  in
+  let telemetry_on_ns = ref infinity and telemetry_off_ns = ref infinity in
+  for _ = 1 to 3 do
+    telemetry_off_ns := Float.min !telemetry_off_ns (measure false);
+    telemetry_on_ns := Float.min !telemetry_on_ns (measure true)
+  done;
+  let telemetry_on_ns = !telemetry_on_ns
+  and telemetry_off_ns = !telemetry_off_ns in
+  Whisper_util.Telemetry.set_enabled true;
+  let telemetry_overhead_pct =
+    100.0 *. (telemetry_on_ns -. telemetry_off_ns) /. telemetry_off_ns
+  in
   List.iter
     (fun (name, c_ns, a_ns) ->
       Printf.printf "  sim %-12s %8.1f -> %7.1f ns/event  (%.1fx)\n" name c_ns
@@ -650,6 +680,9 @@ let replay_bench () =
     "  batch delivery (%d passes) closure %.3fs, arena %.3fs (%.1fx)\n%!"
     (train_passes + test_passes)
     closure_delivery_s arena_delivery_s delivery_speedup;
+  Printf.printf
+    "  telemetry overhead  %8.1f -> %7.1f ns/event  (%+.1f%%)\n%!"
+    telemetry_off_ns telemetry_on_ns telemetry_overhead_pct;
   let out =
     Option.value ~default:"BENCH_replay.json"
       (Sys.getenv_opt "WHISPER_REPLAY_OUT")
@@ -684,6 +717,9 @@ let replay_bench () =
   "batch_warm_arena_cache_hits": %d,
   "arena_cache_store_ms": %.2f,
   "arena_cache_load_ms": %.2f,
+  "telemetry_on_ns_per_event": %.2f,
+  "telemetry_off_ns_per_event": %.2f,
+  "telemetry_overhead_pct": %.2f,
   "parallel_jobs": 4,
   "parallel_identical": true
 }
@@ -704,7 +740,8 @@ let replay_bench () =
     (train_passes + test_passes)
     closure_delivery_s arena_delivery_s delivery_speedup
     cold_stats.Runner.arena_builds warm_stats.Runner.arena_cache_hits
-    (1e3 *. store_s) (1e3 *. load_s);
+    (1e3 *. store_s) (1e3 *. load_s) telemetry_on_ns telemetry_off_ns
+    telemetry_overhead_pct;
   close_out oc;
   Printf.printf "  wrote %s\n%!" out;
   ignore !sink
@@ -816,13 +853,26 @@ let hintbuf_ablation ctx =
 
 (* ------------------------------------------------------------------ *)
 
+(* WHISPER_METRICS_OUT / WHISPER_TRACE_OUT: export the run's telemetry
+   like the CLI does, so CI can attach bench metrics as artifacts. *)
+let emit_telemetry () =
+  let module T = Whisper_util.Telemetry in
+  let write render path =
+    T.write_file ~path (render (T.snapshot ()));
+    Printf.printf "  wrote %s\n%!" path
+  in
+  Option.iter (write T.to_json_string) (Sys.getenv_opt "WHISPER_METRICS_OUT");
+  Option.iter (write T.to_chrome) (Sys.getenv_opt "WHISPER_TRACE_OUT")
+
 let () =
   if Sys.getenv_opt "WHISPER_SEARCH_BENCH_ONLY" <> None then begin
     search_bench ();
+    emit_telemetry ();
     exit 0
   end;
   if Sys.getenv_opt "WHISPER_REPLAY_BENCH_ONLY" <> None then begin
     replay_bench ();
+    emit_telemetry ();
     exit 0
   end;
   if Sys.getenv_opt "WHISPER_SKIP_MICRO" = None then run_micro ();
@@ -893,4 +943,5 @@ let () =
           Printf.printf "\n%!")
     only;
   hash_ablation ();
-  hintbuf_ablation ctx
+  hintbuf_ablation ctx;
+  emit_telemetry ()

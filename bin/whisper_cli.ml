@@ -135,6 +135,48 @@ let task_timeout_arg =
           "Per-attempt wall budget of one work item; a timed-out attempt is \
            retried, then quarantined")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "WHISPER_METRICS_OUT")
+        ~doc:
+          "Write aggregated telemetry (counters, histograms, span rollups) \
+           as versioned JSON (schema in EXPERIMENTS.md)")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "WHISPER_TRACE_OUT")
+        ~doc:
+          "Write timing spans as Chrome trace_events JSON (load in \
+           about://tracing or ui.perfetto.dev)")
+
+(* One snapshot feeds every exporter so the summary, metrics.json and the
+   Chrome trace all describe the same instant. *)
+let emit_telemetry ?(summary = false) ~metrics_out ~trace_out () =
+  let module T = Whisper_util.Telemetry in
+  if summary || metrics_out <> None || trace_out <> None then begin
+    let snap = T.snapshot () in
+    if summary then
+      List.iter
+        (fun l -> Printf.eprintf "telemetry: %s\n" l)
+        (T.summary_lines snap);
+    Option.iter
+      (fun path ->
+        T.write_file ~path (T.to_json_string snap);
+        Printf.eprintf "telemetry: metrics written to %s\n" path)
+      metrics_out;
+    Option.iter
+      (fun path ->
+        T.write_file ~path (T.to_chrome snap);
+        Printf.eprintf "telemetry: trace written to %s\n" path)
+      trace_out
+  end
+
 let make_ctx ~events ~baseline_kb ~jobs ~replay ~no_cache ~cache_dir
     ?(faults = 0.0) ?(fault_seed = 42) ?(retries = 2) ?task_timeout () =
   let cache_dir = if no_cache then None else Some cache_dir in
@@ -181,12 +223,14 @@ let technique_arg =
            branchnet32k, branchnet, whisper")
 
 let simulate_cmd =
-  let run app technique events input kb jobs replay no_cache cache_dir =
+  let run app technique events input kb jobs replay no_cache cache_dir
+      metrics_out trace_out =
     let app = find_app app in
     let ctx =
       make_ctx ~events ~baseline_kb:kb ~jobs ~replay ~no_cache ~cache_dir ()
     in
     let r = Whisper_sim.Runner.run ~test_input:input ctx app technique in
+    emit_telemetry ~metrics_out ~trace_out ();
     let open Whisper_pipeline.Machine in
     Printf.printf "app            %s (input %d)\n" app.Workloads.name input;
     Printf.printf "technique      %s\n" (Whisper_sim.Runner.technique_name technique);
@@ -208,7 +252,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Simulate one application under one technique")
     Term.(
       const run $ app_arg $ technique_arg $ events_arg 1_200_000 $ input_arg
-      $ kb_arg $ jobs_arg $ replay_arg $ no_cache_arg $ cache_dir_arg)
+      $ kb_arg $ jobs_arg $ replay_arg $ no_cache_arg $ cache_dir_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 let profile_cmd =
   let save_arg =
@@ -389,7 +434,7 @@ let experiment_cmd =
       & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write results as CSV files")
   in
   let run id events kb csv_dir jobs replay no_cache cache_dir faults fault_seed
-      retries task_timeout =
+      retries task_timeout metrics_out trace_out =
     let ctx =
       make_ctx ~events ~baseline_kb:kb ~jobs ~replay ~no_cache ~cache_dir
         ~faults ~fault_seed ~retries ?task_timeout ()
@@ -408,7 +453,10 @@ let experiment_cmd =
             let before = Whisper_sim.Runner.stats ctx in
             let fbefore = Whisper_sim.Runner.fault_summary ctx in
             let t0 = Unix.gettimeofday () in
-            let report = f ctx in
+            let report =
+              Whisper_util.Telemetry.span ("experiment/" ^ id) (fun () ->
+                  f ctx)
+            in
             let wall_s = Unix.gettimeofday () -. t0 in
             let after = Whisper_sim.Runner.stats ctx in
             let report =
@@ -450,20 +498,17 @@ let experiment_cmd =
                 close_out oc)
               csv_dir)
       ids;
-    let f = Whisper_sim.Runner.fault_summary ctx in
-    if f.Whisper_sim.Report.cache_write_failures > 0 then
-      Printf.eprintf "warning: %d result-cache entries failed to persist\n"
-        f.Whisper_sim.Report.cache_write_failures;
-    if f.Whisper_sim.Report.cache_corrupt_dropped > 0 then
-      Printf.eprintf "warning: %d corrupt result-cache entries dropped\n"
-        f.Whisper_sim.Report.cache_corrupt_dropped
+    (* End-of-run accounting (sims, cache traffic, faults, degradations)
+       is reported through the telemetry summary: one block, one format,
+       instead of ad-hoc per-condition warnings. *)
+    emit_telemetry ~summary:true ~metrics_out ~trace_out ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
     Term.(
       const run $ id_arg $ events_arg 1_200_000 $ kb_arg $ csv_arg $ jobs_arg
       $ replay_arg $ no_cache_arg $ cache_dir_arg $ faults_arg $ fault_seed_arg
-      $ retries_arg $ task_timeout_arg)
+      $ retries_arg $ task_timeout_arg $ metrics_out_arg $ trace_out_arg)
 
 let () =
   let info =

@@ -320,29 +320,56 @@ let score_below t ~ptruth ~cutoff =
   in
   scan 0 0 4
 
+(* Search telemetry: tallied in locals during the scan and flushed once
+   per call, so the per-candidate loop pays nothing beyond the counting
+   increments it already needs for the result. *)
+let m_searches = Whisper_util.Telemetry.counter "algorithm1.searches"
+let m_scored = Whisper_util.Telemetry.counter "algorithm1.candidates_scored"
+let m_pruned = Whisper_util.Telemetry.counter "algorithm1.suffix_pruned"
+let m_floor_exits = Whisper_util.Telemetry.counter "algorithm1.floor_exits"
+
 let find_packed_below t ~candidates ~packed ~cutoff =
   let nc = Array.length candidates in
   if nc = 0 then invalid_arg "Algorithm1.find_packed";
   if Array.length packed < nc then
     invalid_arg "Algorithm1.find_packed: packed tables shorter than candidates";
-  if t.floor >= cutoff then None
+  let telemetry = Whisper_util.Telemetry.enabled () in
+  if t.floor >= cutoff then begin
+    if telemetry then begin
+      Whisper_util.Telemetry.incr m_searches;
+      Whisper_util.Telemetry.incr m_floor_exits
+    end;
+    None
+  end
   else begin
     let best_i = ref (-1) and best_m = ref cutoff in
+    let scored = ref 0 and pruned = ref 0 and floor_exit = ref false in
     let ci = ref 0 in
     while !ci < nc do
       let m =
         score_below t ~ptruth:(Array.unsafe_get packed !ci) ~cutoff:!best_m
       in
-      if m >= 0 && m < !best_m then begin
+      incr scored;
+      if m < 0 then incr pruned
+      else if m < !best_m then begin
         best_m := m;
         best_i := !ci;
         (* the floor is a hard lower bound on every candidate, so the
            first candidate to reach it is the final answer — skip the
            rest of the scan (ties already resolve to the earlier one) *)
-        if m <= t.floor then ci := nc
+        if m <= t.floor then begin
+          floor_exit := true;
+          ci := nc
+        end
       end;
       incr ci
     done;
+    if telemetry then begin
+      Whisper_util.Telemetry.incr m_searches;
+      Whisper_util.Telemetry.add m_scored !scored;
+      Whisper_util.Telemetry.add m_pruned !pruned;
+      if !floor_exit then Whisper_util.Telemetry.incr m_floor_exits
+    end;
     if !best_i < 0 then None
     else Some (!best_i, candidates.(!best_i), !best_m)
   end

@@ -31,7 +31,12 @@ type t = {
    yields exactly the sequential decision list — any [jobs] produces a
    byte-identical plan.  [rnd]'s candidate ids and packed truth tables
    are frozen at create and shared read-only across the workers. *)
+let m_runs = Whisper_util.Telemetry.counter "analyze.runs"
+let m_considered = Whisper_util.Telemetry.counter "analyze.considered"
+let m_hints = Whisper_util.Telemetry.counter "analyze.hints"
+
 let run ?(config = Config.default) ?(jobs = 1) profile =
+  Whisper_util.Telemetry.span "analyze" @@ fun () ->
   let rnd = Randomized.create config in
   let t0 = Unix.gettimeofday () in
   let candidates = Profile.candidates profile in
@@ -77,6 +82,11 @@ let run ?(config = Config.default) ?(jobs = 1) profile =
     end
   in
   let training_seconds = Unix.gettimeofday () -. t0 in
+  if Whisper_util.Telemetry.enabled () then begin
+    Whisper_util.Telemetry.incr m_runs;
+    Whisper_util.Telemetry.add m_considered n;
+    Whisper_util.Telemetry.add m_hints (List.length decisions)
+  end;
   {
     config;
     decisions;

@@ -277,6 +277,16 @@ let extract_below (s : scratch) ~len_idx ~shift ~cutoff =
   Algorithm1.tables_of_cells_below s.alg ~cells:s.counts ~off:(len_idx lsl 8)
     ~shift ~cutoff
 
+let m_decides = Whisper_util.Telemetry.counter "history_select.decides"
+
+let m_reference_fallbacks =
+  Whisper_util.Telemetry.counter "history_select.reference_fallbacks"
+
+let m_floor_skipped =
+  Whisper_util.Telemetry.counter "history_select.lengths_floor_skipped"
+
+let h_samples = Whisper_util.Telemetry.histogram "history_select.samples"
+
 let decide ?min_gain ?scratch:sc (cfg : Config.t) rnd profile ~pc =
   let min_gain = Option.value min_gain ~default:cfg.min_sample_gain in
   let nl = cfg.n_lengths in
@@ -286,8 +296,14 @@ let decide ?min_gain ?scratch:sc (cfg : Config.t) rnd profile ~pc =
   | None -> None
   | Some v ->
       if v.Profile.n < 8 then None
-      else if v.Profile.n > max_packed_samples then
+      else if v.Profile.n > max_packed_samples then begin
+        if Whisper_util.Telemetry.enabled () then begin
+          Whisper_util.Telemetry.incr m_decides;
+          Whisper_util.Telemetry.incr m_reference_fallbacks;
+          Whisper_util.Telemetry.observe h_samples v.Profile.n
+        end;
         Reference.decide ~min_gain cfg rnd profile ~pc
+      end
       else begin
         let s =
           match sc with
@@ -307,13 +323,14 @@ let decide ?min_gain ?scratch:sc (cfg : Config.t) rnd profile ~pc =
           best := (Brhint.Never_taken, 0, 0, 0, train_taken);
         let candidates = Randomized.candidates rnd in
         let packed = Randomized.packed_candidates rnd in
+        let floor_skipped = ref 0 in
         for len_idx = 0 to nl - 1 do
           let _, _, _, _, cur = !best in
           (* a length whose irreducible floor meets the running best
              cannot contribute the strict improvement the update below
              requires — extraction skips it exactly *)
           match extract_below s ~len_idx ~shift:0 ~cutoff:cur with
-          | None -> ()
+          | None -> incr floor_skipped
           | Some tables -> (
               match
                 Algorithm1.find_packed_below tables ~candidates ~packed
@@ -337,6 +354,11 @@ let decide ?min_gain ?scratch:sc (cfg : Config.t) rnd profile ~pc =
               | None -> 0 (* no eval samples: matches scoring empty tables *))
         in
         Array.fill s.counts 0 (nl lsl 8) 0;
+        if Whisper_util.Telemetry.enabled () then begin
+          Whisper_util.Telemetry.incr m_decides;
+          Whisper_util.Telemetry.add m_floor_skipped !floor_skipped;
+          Whisper_util.Telemetry.observe h_samples v.Profile.n
+        end;
         let required = max min_gain ((eval_baseline + 9) / 10) in
         if eval_baseline - eval_m >= required then
           Some

@@ -41,6 +41,16 @@ type feed =
   | From_source of Branch.source * (Branch.event -> bool)
   | From_arena of Arena.t * (int -> bool)
 
+(* Telemetry is flushed once per run, never per event, so the replay hot
+   loop stays allocation- and instrumentation-free (the <5% overhead
+   contract is measured by bench's telemetry section). *)
+let m_runs = Whisper_util.Telemetry.counter "machine.runs"
+let m_events = Whisper_util.Telemetry.counter "machine.events"
+let m_instrs = Whisper_util.Telemetry.counter "machine.instrs"
+let m_mispredicts = Whisper_util.Telemetry.counter "machine.mispredicts"
+let m_l1i_misses = Whisper_util.Telemetry.counter "machine.l1i_misses"
+let h_events_per_run = Whisper_util.Telemetry.histogram "machine.events_per_run"
+
 let run_impl ~(params : Params.t) ~segments ~events feed =
   let l1i =
     Cache.create ~bytes:params.Params.l1i_bytes ~assoc:params.l1i_assoc
@@ -147,6 +157,14 @@ let run_impl ~(params : Params.t) ~segments ~events feed =
             ~taken:(Arena.taken a ev) ~correct:(predict ev)
     done
   done;
+  if Whisper_util.Telemetry.enabled () then begin
+    Whisper_util.Telemetry.incr m_runs;
+    Whisper_util.Telemetry.add m_events events;
+    Whisper_util.Telemetry.add m_instrs !instrs;
+    Whisper_util.Telemetry.add m_mispredicts !mispredicts;
+    Whisper_util.Telemetry.add m_l1i_misses !l1i_misses;
+    Whisper_util.Telemetry.observe h_events_per_run events
+  end;
   {
     cycles = !cycles;
     instrs = !instrs;
@@ -163,10 +181,12 @@ let run_impl ~(params : Params.t) ~segments ~events feed =
 
 let run ?(params = Params.default) ?(segments = 10) ~events ~source ~predict ()
     =
-  run_impl ~params ~segments ~events (From_source (source, predict))
+  Whisper_util.Telemetry.span "machine.run" (fun () ->
+      run_impl ~params ~segments ~events (From_source (source, predict)))
 
 let run_arena ?(params = Params.default) ?(segments = 10) ~events ~arena
     ~predict () =
   if events > Arena.length arena then
     invalid_arg "Machine.run_arena: events exceeds arena length";
-  run_impl ~params ~segments ~events (From_arena (arena, predict))
+  Whisper_util.Telemetry.span "machine.run_arena" (fun () ->
+      run_impl ~params ~segments ~events (From_arena (arena, predict)))

@@ -14,6 +14,11 @@ type t = {
   n_corrupt_dropped : int Atomic.t;
 }
 
+let m_loads = Telemetry.counter "arena_cache.loads"
+let m_stores = Telemetry.counter "arena_cache.stores"
+let m_corrupt = Telemetry.counter "arena_cache.corrupt_dropped"
+let m_write_failures = Telemetry.counter "arena_cache.write_failures"
+
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
     mkdir_p (Filename.dirname d);
@@ -87,12 +92,15 @@ let find t ~key =
       Whisper_error.protect ~context:key Whisper_error.Arena_cache (fun () ->
           decode_exn ~key (read ()))
     with
-    | Ok a -> Some a
+    | Ok a ->
+        Telemetry.incr m_loads;
+        Some a
     | Error _ ->
         (* corrupt/stale entries (torn write, bit rot, version bump) are
            dropped and counted, and the caller regenerates the arena *)
         (try Sys.remove file with Sys_error _ -> ());
         Atomic.incr t.n_corrupt_dropped;
+        Telemetry.incr m_corrupt;
         None
 
 (* Best-effort, like Result_cache.store: a failing write must not abort
@@ -102,7 +110,9 @@ let store t ~key arena =
   let tmp = Printf.sprintf "%s.%d.tmp" file (Domain.self () :> int) in
   try
     Binio.to_file tmp (encode ~key arena);
-    Sys.rename tmp file
+    Sys.rename tmp file;
+    Telemetry.incr m_stores
   with Sys_error _ | Unix.Unix_error _ ->
     (try Sys.remove tmp with Sys_error _ -> ());
-    Atomic.incr t.n_write_failures
+    Atomic.incr t.n_write_failures;
+    Telemetry.incr m_write_failures

@@ -14,6 +14,11 @@ type t = {
   n_corrupt_dropped : int Atomic.t;
 }
 
+let m_loads = Telemetry.counter "result_cache.loads"
+let m_stores = Telemetry.counter "result_cache.stores"
+let m_corrupt = Telemetry.counter "result_cache.corrupt_dropped"
+let m_write_failures = Telemetry.counter "result_cache.write_failures"
+
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
     mkdir_p (Filename.dirname d);
@@ -124,12 +129,15 @@ let find t ~key =
       Whisper_error.protect ~context:key Whisper_error.Result_cache (fun () ->
           decode_exn ~key (read ()))
     with
-    | Ok r -> Some r
+    | Ok r ->
+        Telemetry.incr m_loads;
+        Some r
     | Error _ ->
         (* corrupt/stale entries (torn write, bit rot, version bump) are
            dropped and counted, and the caller recomputes *)
         (try Sys.remove file with Sys_error _ -> ());
         Atomic.incr t.n_corrupt_dropped;
+        Telemetry.incr m_corrupt;
         None
 
 (* Best-effort: the cache is an optimization, so a failing write (read-only
@@ -141,7 +149,9 @@ let store t ~key r =
   let tmp = Printf.sprintf "%s.%d.tmp" file (Domain.self () :> int) in
   try
     Binio.to_file tmp (encode ~key r);
-    Sys.rename tmp file
+    Sys.rename tmp file;
+    Telemetry.incr m_stores
   with Sys_error _ | Unix.Unix_error _ ->
     (try Sys.remove tmp with Sys_error _ -> ());
-    Atomic.incr t.n_write_failures
+    Atomic.incr t.n_write_failures;
+    Telemetry.incr m_write_failures

@@ -160,6 +160,24 @@ let stats ctx =
         arena_cache_misses = ctx.n_arena_misses;
       })
 
+(* Telemetry mirrors of the ctx accounting above: same increment sites,
+   but aggregated process-wide and exported through the one end-of-run
+   summary/metrics path.  All are deterministic across job counts for
+   fault-free runs (see Telemetry's contract); retry/quarantine counts
+   are inherently racy under chaos mode. *)
+module Tm = Whisper_util.Telemetry
+
+let m_cache_hits = Tm.counter "runner.result_cache.hits"
+let m_cache_misses = Tm.counter "runner.result_cache.misses"
+let m_sims = Tm.counter "runner.sims"
+let m_arena_builds = Tm.counter "runner.arena.builds"
+let m_arena_hits = Tm.counter "runner.arena_cache.hits"
+let m_arena_misses = Tm.counter "runner.arena_cache.misses"
+let m_profiles = Tm.counter "runner.profiles_collected"
+let m_retries = Tm.counter "runner.retries"
+let m_quarantined = Tm.counter "runner.quarantined"
+let m_degraded = Tm.counter "runner.degraded_results"
+
 (* Double-checked memoization over a ctx table.  The compute step runs
    outside the lock, so two domains racing on the same key may both
    compute it; every computation here is a pure function of the key, so
@@ -201,17 +219,24 @@ let arena ctx app ~input =
       | Some a ->
           Mutex.protect ctx.lock (fun () ->
               ctx.n_arena_hits <- ctx.n_arena_hits + 1);
+          Tm.incr m_arena_hits;
           a
       | None ->
-          if ctx.arena_cache <> None then
+          if ctx.arena_cache <> None then begin
             Mutex.protect ctx.lock (fun () ->
                 ctx.n_arena_misses <- ctx.n_arena_misses + 1);
+            Tm.incr m_arena_misses
+          end;
           let t0 = Unix.gettimeofday () in
-          let a = Arena.build ~events:ctx.ev (model ctx app ~input) in
+          let a =
+            Tm.span ("arena/" ^ app.Workloads.name) (fun () ->
+                Arena.build ~events:ctx.ev (model ctx app ~input))
+          in
           let dt = Unix.gettimeofday () -. t0 in
           Mutex.protect ctx.lock (fun () ->
               ctx.n_arena_builds <- ctx.n_arena_builds + 1;
               ctx.arena_seconds <- ctx.arena_seconds +. dt);
+          Tm.incr m_arena_builds;
           Option.iter (fun c -> Arena_cache.store c ~key a) ctx.arena_cache;
           a)
 
@@ -231,6 +256,8 @@ let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
   let kb = Option.value baseline_kb ~default:ctx.base_kb in
   let key = profile_key ctx app ~inputs ~kb in
   memo ctx ctx.profiles key (fun () ->
+      Tm.span ("profile/" ^ app.Workloads.name) @@ fun () ->
+      Tm.incr m_profiles;
       let one input =
         match ctx.replay_mode with
         | `Arena ->
@@ -378,10 +405,12 @@ let run_key ctx app technique ~train_inputs ~test_input ~kb =
     test_input kb ctx.ev
 
 let bump_hit ctx =
-  Mutex.protect ctx.lock (fun () -> ctx.n_hits <- ctx.n_hits + 1)
+  Mutex.protect ctx.lock (fun () -> ctx.n_hits <- ctx.n_hits + 1);
+  Tm.incr m_cache_hits
 
 let bump_miss ctx =
-  Mutex.protect ctx.lock (fun () -> ctx.n_misses <- ctx.n_misses + 1)
+  Mutex.protect ctx.lock (fun () -> ctx.n_misses <- ctx.n_misses + 1);
+  Tm.incr m_cache_misses
 
 (* What a quarantined work item reports: NaN for every cycle/stall
    account (rendered as DEGRADED in tables), zeros elsewhere.  The row
@@ -410,8 +439,10 @@ let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
     technique =
   let kb = Option.value baseline_kb ~default:ctx.base_kb in
   let key = run_key ctx app technique ~train_inputs ~test_input ~kb in
-  if Mutex.protect ctx.lock (fun () -> Hashtbl.mem ctx.quarantine key) then
+  if Mutex.protect ctx.lock (fun () -> Hashtbl.mem ctx.quarantine key) then begin
+    Tm.incr m_degraded;
     degraded_result ()
+  end
   else
     memo ctx ctx.results key (fun () ->
         match Option.bind ctx.cache (fun c -> Result_cache.find c ~key) with
@@ -422,6 +453,10 @@ let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
             if ctx.cache <> None then bump_miss ctx;
             let t0 = Unix.gettimeofday () in
             let r =
+              Tm.span
+                (Printf.sprintf "sim/%s/%s" app.Workloads.name
+                   (technique_name technique))
+              @@ fun () ->
               match ctx.replay_mode with
               | `Arena ->
                   let a = arena ctx app ~input:test_input in
@@ -441,6 +476,7 @@ let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
             Mutex.protect ctx.lock (fun () ->
                 ctx.n_sims <- ctx.n_sims + 1;
                 ctx.sim_seconds <- ctx.sim_seconds +. dt);
+            Tm.incr m_sims;
             Option.iter (fun c -> Result_cache.store c ~key r) ctx.cache;
             r)
 
@@ -578,8 +614,10 @@ let dedup ctx works =
 let run_phase_degraded ctx works =
   let arr = Array.of_list works in
   let task ~attempt w =
-    if attempt > 1 then
+    if attempt > 1 then begin
       Mutex.protect ctx.lock (fun () -> ctx.n_retries <- ctx.n_retries + 1);
+      Tm.incr m_retries
+    end;
     let key = work_key ctx w in
     let body () = exec_work ctx w in
     let run_it =
@@ -610,6 +648,7 @@ let run_phase_degraded ctx works =
                | Whisper_util.Whisper_error.Timeout _ -> true
                | _ -> false
              in
+             Tm.incr m_quarantined;
              Mutex.protect ctx.lock (fun () ->
                  if timed_out then ctx.n_observed <- ctx.n_observed + 1;
                  Hashtbl.replace ctx.quarantine key err))

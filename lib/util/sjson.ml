@@ -1,0 +1,256 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let next c =
+  match peek c with
+  | Some ch ->
+      c.pos <- c.pos + 1;
+      ch
+  | None -> fail "unexpected end of input at offset %d" c.pos
+
+let skip_ws c =
+  let n = String.length c.src in
+  while
+    c.pos < n
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  let got = next c in
+  if got <> ch then fail "expected %C at offset %d, got %C" ch (c.pos - 1) got
+
+let literal c word v =
+  String.iter (fun ch -> expect c ch) word;
+  v
+
+let hex_digit = function
+  | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+  | ch -> fail "invalid hex digit %C" ch
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (match next c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            let d3 = hex_digit (next c) in
+            let d2 = hex_digit (next c) in
+            let d1 = hex_digit (next c) in
+            let d0 = hex_digit (next c) in
+            let v = (d3 lsl 12) lor (d2 lsl 8) lor (d1 lsl 4) lor d0 in
+            (* the telemetry writers never emit non-ASCII escapes *)
+            Buffer.add_char buf (if v < 0x80 then Char.chr v else '?')
+        | ch -> fail "invalid escape \\%C" ch);
+        go ()
+    | ch -> Buffer.add_char buf ch; go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let n = String.length c.src in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < n && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> fail "invalid number %S at offset %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match next c with
+          | ',' -> items (v :: acc)
+          | ']' -> Arr (List.rev (v :: acc))
+          | ch -> fail "expected ',' or ']', got %C at offset %d" ch (c.pos - 1)
+        in
+        items []
+      end
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match next c with
+          | ',' -> members ((k, v) :: acc)
+          | '}' -> Obj (List.rev ((k, v) :: acc))
+          | ch -> fail "expected ',' or '}', got %C at offset %d" ch (c.pos - 1)
+        in
+        members []
+      end
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing bytes at offset %d" c.pos)
+      else Ok v
+  | exception Fail msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+(* Canonical number rendering: integral values print without a decimal
+   point so counter values survive a parse/print round trip byte-for-
+   byte; everything else uses shortest-precise float notation. *)
+let number_string f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write ~indent ~level buf v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_string f)
+  | Str s -> escape_string buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          write ~indent ~level:(level + 1) buf item)
+        items;
+      nl ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          escape_string buf k;
+          Buffer.add_string buf (if indent then ": " else ":");
+          write ~indent ~level:(level + 1) buf item)
+        members;
+      nl ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let render ~indent v =
+  let buf = Buffer.create 256 in
+  write ~indent ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:false v
+let to_string_pretty v = render ~indent:true v ^ "\n"
+
+let equal (a : t) (b : t) = a = b
+
+let member k = function
+  | Obj members -> List.assoc_opt k members
+  | _ -> None
+
+let remove k = function
+  | Obj members -> Obj (List.filter (fun (k', _) -> k' <> k) members)
+  | v -> v
+
+let num = function Num f -> Some f | _ -> None
+
+let int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let str = function Str s -> Some s | _ -> None
+let bool = function Bool b -> Some b | _ -> None
+let arr = function Arr items -> Some items | _ -> None
+let of_int n = Num (float_of_int n)

@@ -1,0 +1,47 @@
+(** Minimal, dependency-free JSON: just enough for the telemetry
+    exporters, the perf-regression checker and their round-trip tests.
+
+    The printer is canonical — a fixed, whitespace-stable rendering with
+    object members in the order given — so two values that compare equal
+    with {!equal} serialize to byte-identical strings.  That property is
+    what the [-j1] vs [-j4] metrics-determinism contract is checked
+    against (see {!Telemetry}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (trailing whitespace allowed, anything else is
+    an error).  Numbers land in [Num] as floats; strings support the
+    standard escapes plus [\uXXXX] for code points below 0x80 (larger
+    escapes decode to ['?'] — the telemetry writers never emit them). *)
+
+val to_string : t -> string
+(** Canonical compact rendering. *)
+
+val to_string_pretty : t -> string
+(** Canonical two-space-indented rendering (what the exporters write). *)
+
+val equal : t -> t -> bool
+(** Structural equality; object member {e order matters} (canonical
+    writers always emit sorted members). *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any; [None] on
+    non-objects. *)
+
+val remove : string -> t -> t
+(** Drop a member from an object (identity on non-objects). *)
+
+val num : t -> float option
+val int : t -> int option
+val str : t -> string option
+val bool : t -> bool option
+val arr : t -> t list option
+
+val of_int : int -> t

@@ -1,0 +1,316 @@
+(* Tests for the telemetry subsystem: histogram bucket algebra, span
+   nesting, the deterministic multi-domain merge (the -j1 == -j4
+   value-metric contract, exercised through a real Runner batch), and
+   the JSON/Chrome exporters' round trips. *)
+
+open Whisper_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Every telemetry test snapshots the process-global registry, so each
+   starts from a clean slate. *)
+let fresh () =
+  Telemetry.set_enabled true;
+  Telemetry.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Histogram cells                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_boundaries () =
+  check_int "v=0" 0 (Telemetry.Hist.bucket_of_value 0);
+  check_int "v<0" 0 (Telemetry.Hist.bucket_of_value (-17));
+  check_int "v=1" 1 (Telemetry.Hist.bucket_of_value 1);
+  (* bucket b >= 1 covers [2^(b-1), 2^b) *)
+  for b = 1 to 20 do
+    let lo = 1 lsl (b - 1) in
+    let hi = (1 lsl b) - 1 in
+    check_int "lower edge" b (Telemetry.Hist.bucket_of_value lo);
+    check_int "upper edge" b (Telemetry.Hist.bucket_of_value hi);
+    let blo, bhi = Telemetry.Hist.bucket_bounds b in
+    check_int "bounds lo" lo blo;
+    if b < Telemetry.Hist.n_buckets - 1 then check_int "bounds hi" hi bhi
+  done;
+  (* max_int is 2^62 - 1 on 64-bit OCaml: 62 bits, bucket 62 *)
+  check_int "max_int" 62 (Telemetry.Hist.bucket_of_value max_int);
+  Alcotest.check_raises "bounds out of range"
+    (Invalid_argument "Telemetry.Hist.bucket_bounds") (fun () ->
+      ignore (Telemetry.Hist.bucket_bounds Telemetry.Hist.n_buckets))
+
+let hist_of_list vs =
+  List.fold_left Telemetry.Hist.observe Telemetry.Hist.empty vs
+
+let test_hist_observe_accounting () =
+  let h = hist_of_list [ 3; 0; 700; 3 ] in
+  check_int "count" 4 h.Telemetry.Hist.count;
+  check_int "sum" 706 h.Telemetry.Hist.sum;
+  check_int "min" 0 h.Telemetry.Hist.min_v;
+  check_int "max" 700 h.Telemetry.Hist.max_v;
+  check_int "bucket of 3 holds two" 2
+    h.Telemetry.Hist.buckets.(Telemetry.Hist.bucket_of_value 3)
+
+let qcheck_merge_is_concat =
+  QCheck.Test.make ~name:"hist merge == observing the concatenation"
+    ~count:200
+    QCheck.(pair (small_list small_nat) (small_list small_nat))
+    (fun (a, b) ->
+      Telemetry.Hist.equal
+        (Telemetry.Hist.merge (hist_of_list a) (hist_of_list b))
+        (hist_of_list (a @ b)))
+
+let qcheck_merge_commutative =
+  QCheck.Test.make ~name:"hist merge commutes" ~count:200
+    QCheck.(pair (small_list small_nat) (small_list small_nat))
+    (fun (a, b) ->
+      let ha = hist_of_list a and hb = hist_of_list b in
+      Telemetry.Hist.equal (Telemetry.Hist.merge ha hb)
+        (Telemetry.Hist.merge hb ha))
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~name:"hist merge associates" ~count:200
+    QCheck.(triple (small_list small_nat) (small_list small_nat)
+              (small_list small_nat))
+    (fun (a, b, c) ->
+      let ha = hist_of_list a
+      and hb = hist_of_list b
+      and hc = hist_of_list c in
+      Telemetry.Hist.equal
+        (Telemetry.Hist.merge (Telemetry.Hist.merge ha hb) hc)
+        (Telemetry.Hist.merge ha (Telemetry.Hist.merge hb hc)))
+
+let qcheck_merge_empty_identity =
+  QCheck.Test.make ~name:"hist empty is the merge identity" ~count:100
+    QCheck.(small_list small_nat)
+    (fun a ->
+      let h = hist_of_list a in
+      Telemetry.Hist.equal h (Telemetry.Hist.merge h Telemetry.Hist.empty)
+      && Telemetry.Hist.equal h (Telemetry.Hist.merge Telemetry.Hist.empty h))
+
+(* ------------------------------------------------------------------ *)
+(* Counters, spans, enable gate                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_aggregate () =
+  fresh ();
+  let c = Telemetry.counter "test.alpha" in
+  Telemetry.incr c;
+  Telemetry.add c 41;
+  let snap = Telemetry.snapshot () in
+  check_int "counter sums" 42 (Telemetry.counter_value snap "test.alpha");
+  check_int "unregistered name reads zero" 0
+    (Telemetry.counter_value snap "test.never_registered")
+
+let test_disabled_records_nothing () =
+  fresh ();
+  let c = Telemetry.counter "test.gated" in
+  let h = Telemetry.histogram "test.gated_hist" in
+  Telemetry.set_enabled false;
+  Telemetry.incr c;
+  Telemetry.observe h 7;
+  let r = Telemetry.span "test.gated_span" (fun () -> 11) in
+  Telemetry.set_enabled true;
+  check_int "span still returns" 11 r;
+  let snap = Telemetry.snapshot () in
+  check_int "counter unchanged" 0 (Telemetry.counter_value snap "test.gated");
+  check_bool "no spans" true
+    (List.for_all
+       (fun s -> s.Telemetry.sp_name <> "test.gated_span")
+       (Telemetry.spans snap))
+
+let test_span_nesting () =
+  fresh ();
+  Telemetry.span "outer" (fun () ->
+      Telemetry.span "inner" (fun () -> ignore (Sys.opaque_identity 1)));
+  Telemetry.span "sibling" (fun () -> ());
+  let spans = Telemetry.spans (Telemetry.snapshot ()) in
+  let find n = List.find (fun s -> s.Telemetry.sp_name = n) spans in
+  let outer = find "outer" and inner = find "inner" and sib = find "sibling" in
+  check_int "three spans" 3 (List.length spans);
+  check_int "outer at depth 0" 0 outer.Telemetry.sp_depth;
+  check_int "inner nested once" 1 inner.Telemetry.sp_depth;
+  check_int "sibling back at depth 0" 0 sib.Telemetry.sp_depth;
+  let inside =
+    inner.Telemetry.sp_start_s >= outer.Telemetry.sp_start_s
+    && inner.Telemetry.sp_start_s +. inner.Telemetry.sp_dur_s
+       <= outer.Telemetry.sp_start_s +. outer.Telemetry.sp_dur_s +. 1e-6
+  in
+  check_bool "inner window inside outer" true inside;
+  check_bool "sibling starts after outer" true
+    (sib.Telemetry.sp_start_s
+    >= outer.Telemetry.sp_start_s +. outer.Telemetry.sp_dur_s -. 1e-6)
+
+let test_span_survives_exception () =
+  fresh ();
+  (try Telemetry.span "raiser" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let spans = Telemetry.spans (Telemetry.snapshot ()) in
+  check_bool "span recorded despite raise" true
+    (List.exists (fun s -> s.Telemetry.sp_name = "raiser") spans)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let populate () =
+  fresh ();
+  let c = Telemetry.counter "test.export_counter" in
+  let h = Telemetry.histogram "test.export_hist" in
+  Telemetry.add c 5;
+  Telemetry.observe h 9;
+  Telemetry.observe h 1300;
+  Telemetry.span "test.export_span" (fun () -> ());
+  Telemetry.snapshot ()
+
+let test_json_round_trip () =
+  let snap = populate () in
+  let s = Telemetry.to_json_string snap in
+  match Sjson.parse s with
+  | Error e -> Alcotest.failf "metrics JSON does not re-parse: %s" e
+  | Ok v ->
+      check_bool "parse inverts print" true
+        (Sjson.equal v (Telemetry.to_json snap));
+      (match Option.bind (Sjson.member "version" v) Sjson.int with
+      | Some ver -> check_int "schema version" Telemetry.schema_version ver
+      | None -> Alcotest.fail "missing version member");
+      (match Sjson.member "schema" v with
+      | Some (Sjson.Str "whisper-metrics") -> ()
+      | _ -> Alcotest.fail "missing schema tag");
+      let stripped = Telemetry.strip_wall_time v in
+      check_bool "strip removes spans" true
+        (Sjson.member "spans" stripped = None);
+      check_bool "strip keeps counters" true
+        (Sjson.member "counters" stripped <> None)
+
+let test_chrome_trace_parses () =
+  let snap = populate () in
+  match Sjson.parse (Telemetry.to_chrome snap) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok v -> (
+      match Option.bind (Sjson.member "traceEvents" v) Sjson.arr with
+      | Some evs ->
+          check_bool "one event per span" true
+            (List.length evs = List.length (Telemetry.spans snap));
+          List.iter
+            (fun ev ->
+              match Sjson.member "ph" ev with
+              | Some (Sjson.Str "X") -> ()
+              | _ -> Alcotest.fail "span event is not a complete event")
+            evs
+      | None -> Alcotest.fail "missing traceEvents array")
+
+let test_summary_lines_nonzero_only () =
+  fresh ();
+  let a = Telemetry.counter "test.nonzero" in
+  ignore (Telemetry.counter "test.zero");
+  Telemetry.add a 3;
+  let lines = Telemetry.summary_lines (Telemetry.snapshot ()) in
+  check_bool "nonzero listed" true
+    (List.mem "test.nonzero = 3" lines);
+  check_bool "zero counters omitted" true
+    (List.for_all
+       (fun l -> not (String.length l >= 9 && String.sub l 0 9 = "test.zero"))
+       lines)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domains, through a real Runner batch            *)
+(* ------------------------------------------------------------------ *)
+
+let batch_value_metrics ~jobs =
+  fresh ();
+  let app = Option.get (Whisper_trace.Workloads.by_name "cassandra") in
+  let ctx = Whisper_sim.Runner.create_ctx ~events:6_000 ~jobs () in
+  Whisper_sim.Runner.run_batch ctx
+    [
+      Whisper_sim.Runner.sim app Whisper_sim.Runner.Baseline;
+      Whisper_sim.Runner.sim app Whisper_sim.Runner.Ideal;
+      Whisper_sim.Runner.sim app
+        (Whisper_sim.Runner.Whisper Whisper_core.Config.default);
+    ];
+  let snap = Telemetry.snapshot () in
+  let json = Telemetry.strip_wall_time (Telemetry.to_json snap) in
+  (Sjson.to_string json, snap)
+
+let test_j1_j4_value_metrics_identical () =
+  let m1, snap1 = batch_value_metrics ~jobs:1 in
+  let m4, _ = batch_value_metrics ~jobs:4 in
+  Alcotest.(check string) "stripped metrics byte-identical" m1 m4;
+  (* sanity: the batch actually recorded work *)
+  check_bool "events counted" true
+    (Telemetry.counter_value snap1 "machine.events" > 0);
+  check_bool "sims counted" true
+    (Telemetry.counter_value snap1 "runner.sims" = 3);
+  check_bool "analysis ran" true
+    (Telemetry.counter_value snap1 "analyze.runs" = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Sjson primitives the exporters and checker lean on                 *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_sjson_number_round_trip =
+  QCheck.Test.make ~name:"sjson int round trip" ~count:300
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun n ->
+      match Sjson.parse (Sjson.to_string (Sjson.of_int n)) with
+      | Ok v -> Sjson.int v = Some n
+      | Error _ -> false)
+
+let test_sjson_parse_basics () =
+  (match Sjson.parse {| {"a": [1, 2.5, "x\ny", true, null], "b": {}} |} with
+  | Ok (Sjson.Obj [ ("a", Sjson.Arr [ _; _; Sjson.Str s; _; Sjson.Null ]); ("b", Sjson.Obj []) ])
+    ->
+      Alcotest.(check string) "escapes decode" "x\ny" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  check_bool "trailing garbage rejected" true
+    (match Sjson.parse "1 2" with Error _ -> true | Ok _ -> false);
+  check_bool "unterminated string rejected" true
+    (match Sjson.parse "\"abc" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "hist",
+        Alcotest.
+          [
+            test_case "bucket boundaries" `Quick test_bucket_boundaries;
+            test_case "observe accounting" `Quick test_hist_observe_accounting;
+          ]
+        @ qsuite
+            [
+              qcheck_merge_is_concat;
+              qcheck_merge_commutative;
+              qcheck_merge_associative;
+              qcheck_merge_empty_identity;
+            ] );
+      ( "recording",
+        Alcotest.
+          [
+            test_case "counters aggregate" `Quick test_counters_aggregate;
+            test_case "disabled records nothing" `Quick
+              test_disabled_records_nothing;
+            test_case "span nesting" `Quick test_span_nesting;
+            test_case "span survives exception" `Quick
+              test_span_survives_exception;
+          ] );
+      ( "export",
+        Alcotest.
+          [
+            test_case "json round trip" `Quick test_json_round_trip;
+            test_case "chrome trace parses" `Quick test_chrome_trace_parses;
+            test_case "summary lines" `Quick test_summary_lines_nonzero_only;
+          ] );
+      ( "determinism",
+        Alcotest.
+          [
+            test_case "j1 == j4 value metrics (real batch)" `Quick
+              test_j1_j4_value_metrics_identical;
+          ] );
+      ( "sjson",
+        Alcotest.[ test_case "parse basics" `Quick test_sjson_parse_basics ]
+        @ qsuite [ qcheck_sjson_number_round_trip ] );
+    ]
