@@ -2,13 +2,24 @@
 
    Modes:
      check_regression --kind search --baseline F --fresh F [--tolerance T]
+                      [--floor NAME=V]...
      check_regression --kind replay --baseline F --fresh F [--tolerance T]
+                      [--floor NAME=V]...
          Compare a freshly generated BENCH_*.json against the committed
          baseline: every key speedup ratio must stay within the relative
          tolerance band (default 0.30 = fail on >30%% regression), the
          workload-shape equality fields must match when the two runs used
          the same events/smoke settings, and the replay bench's measured
          telemetry overhead must stay under max(5%%, 5 ns/event).
+
+         Each --floor NAME=V (repeatable) additionally requires the fresh
+         run's numeric field NAME to be >= V — an absolute floor,
+         independent of the committed baseline, for fields like
+         parallel_speedup_j2 where "no worse than baseline" is not the
+         contract.  Floors named parallel_speedup_j<K> are skipped (with
+         a note, not a failure) when the fresh run reports
+         host_cores < K: a K-way scaling floor is unfalsifiable on a
+         host that cannot run K domains in parallel.
 
      check_regression --metrics-valid FILE
          Assert FILE is a schema-valid whisper-metrics document with
@@ -59,7 +70,14 @@ let require_num path doc name =
 (* ------------------------------------------------------------------ *)
 
 let ratio_fields = function
-  | `Search -> [ "scorer_speedup"; "find_speedup"; "search_speedup"; "decide_speedup" ]
+  | `Search ->
+      [
+        "scorer_speedup";
+        "find_speedup";
+        "search_speedup";
+        "decide_speedup";
+        "parallel_speedup";
+      ]
   | `Replay -> [ "replay_speedup"; "batch_cold_speedup"; "batch_delivery_speedup" ]
 
 (* Workload-shape fields: a mismatch means the two runs did different
@@ -74,7 +92,38 @@ let same_workload baseline fresh =
   && Whisper_util.Sjson.member "smoke" baseline
      = Whisper_util.Sjson.member "smoke" fresh
 
-let check_bench kind ~baseline_path ~fresh_path ~tolerance =
+(* Absolute floors (--floor NAME=V) on the fresh run.  A
+   parallel_speedup_j<K> floor only binds when the fresh run's host
+   actually had K cores to scale onto. *)
+let floor_min_cores name =
+  let prefix = "parallel_speedup_j" in
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+let check_floors ~fresh_path fresh floors =
+  let host_cores =
+    Option.map int_of_float (num_field fresh "host_cores")
+  in
+  List.iter
+    (fun (name, floor_v) ->
+      match (floor_min_cores name, host_cores) with
+      | Some k, Some c when c < k ->
+          note "%s floor skipped: host has %d cores (< %d)" name c k
+      | _ ->
+          let f = require_num fresh_path fresh name in
+          if f < floor_v then
+            fail "%s below floor: %.2f < %.2f" name f floor_v
+          else note "%s: %.2f (floor %.2f) ok" name f floor_v)
+    floors
+
+let check_parallel_identical fresh_path fresh =
+  match Whisper_util.Sjson.(member "parallel_identical" fresh) with
+  | Some (Whisper_util.Sjson.Bool true) -> note "parallel_identical: true ok"
+  | _ -> fail "parallel_identical is not true in %s" fresh_path
+
+let check_bench kind ~baseline_path ~fresh_path ~tolerance ~floors =
   let baseline = load baseline_path and fresh = load fresh_path in
   List.iter
     (fun name ->
@@ -96,12 +145,11 @@ let check_bench kind ~baseline_path ~fresh_path ~tolerance =
       (equality_fields kind)
   else
     note "events/smoke differ between baseline and fresh: skipping equality fields";
+  check_floors ~fresh_path fresh floors;
   match kind with
-  | `Search -> ()
+  | `Search -> check_parallel_identical fresh_path fresh
   | `Replay -> (
-      (match Whisper_util.Sjson.(member "parallel_identical" fresh) with
-      | Some (Whisper_util.Sjson.Bool true) -> note "parallel_identical: true ok"
-      | _ -> fail "parallel_identical is not true in %s" fresh_path);
+      check_parallel_identical fresh_path fresh;
       match
         (num_field fresh "telemetry_on_ns_per_event",
          num_field fresh "telemetry_off_ns_per_event")
@@ -172,7 +220,7 @@ let check_metrics_equal a_path b_path =
 let usage () =
   prerr_endline
     "usage: check_regression --kind search|replay --baseline F --fresh F \
-     [--tolerance T]\n\
+     [--tolerance T] [--floor NAME=V]...\n\
     \       check_regression --metrics-valid FILE\n\
     \       check_regression --metrics-equal A B";
   exit 2
@@ -184,8 +232,20 @@ let () =
   | _ :: "--metrics-equal" :: a :: b :: [] -> check_metrics_equal a b
   | _ :: rest ->
       let opts = Hashtbl.create 8 in
+      let floors = ref [] in
       let rec parse = function
         | [] -> ()
+        | "--floor" :: spec :: rest -> (
+            match String.index_opt spec '=' with
+            | Some i -> (
+                let name = String.sub spec 0 i in
+                let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+                match float_of_string_opt v with
+                | Some v when name <> "" ->
+                    floors := (name, v) :: !floors;
+                    parse rest
+                | _ -> usage ())
+            | None -> usage ())
         | key :: value :: rest when String.length key > 2 && String.sub key 0 2 = "--" ->
             Hashtbl.replace opts (String.sub key 2 (String.length key - 2)) value;
             parse rest
@@ -207,6 +267,7 @@ let () =
         | None -> 0.30
       in
       check_bench kind ~baseline_path ~fresh_path ~tolerance
+        ~floors:(List.rev !floors)
   | [] -> usage ());
   if !failures > 0 then begin
     Printf.eprintf "%d check(s) failed\n" !failures;

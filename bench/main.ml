@@ -355,28 +355,83 @@ let search_bench () =
           pcs)
     /. fn_pcs
   in
-  (* --- whole-profile analysis throughput, sequential and parallel.
-     The parallel leg must actually be parallel: in smoke mode (CI
-     containers often default to one domain) force at least two workers,
-     and record the domain count actually used, not the env default. *)
-  let used_jobs = if smoke then max 2 jobs else jobs in
-  let a1 = Whisper_core.Analyze.run ~config ~jobs:1 profile in
-  let aj = Whisper_core.Analyze.run ~config ~jobs:used_jobs profile in
-  if a1.Whisper_core.Analyze.decisions <> aj.Whisper_core.Analyze.decisions then
-    failwith "parallel analysis disagrees with sequential";
-  let hints = Whisper_core.Analyze.hint_count a1 in
-  let hps (a : Whisper_core.Analyze.t) =
-    float_of_int (Whisper_core.Analyze.hint_count a)
-    /. max 1e-9 a.Whisper_core.Analyze.training_seconds
+  (* --- whole-sweep analysis throughput, sequential vs the persistent
+     chunk-claiming scheduler at 2 and 4 claimers.  The pool is created
+     once, outside every timed region — amortizing domain spawn across
+     the fleet's analyses is the point of the persistent scheduler (the
+     old per-call pool spent more on spawning than on searching, which
+     is where the recorded 0.47x went).  Decisions are asserted
+     identical to sequential at every width before any timing is
+     trusted; timings are a min-of-3 so millisecond-scale runs are not
+     at the mercy of one scheduler hiccup.  In smoke mode the sweep is
+     the one cassandra profile (CI time budget); the full bench analyzes
+     every datacenter app.  The parallel leg must actually be parallel:
+     in smoke mode (CI containers often default to one domain) force at
+     least two claimers, and record the width actually used, not the env
+     default. *)
+  let sweep_profiles =
+    if smoke then [| profile |]
+    else
+      Array.map
+        (fun a -> Whisper_sim.Runner.profile ctx a)
+        Workloads.datacenter
   in
+  let n_sweep = Array.length sweep_profiles in
+  let used_jobs = max 2 jobs in
+  let host_cores = Domain.recommended_domain_count () in
+  let pool = Whisper_util.Pool.shared ~jobs:(max 4 used_jobs - 1) in
+  let analyze ~jobs:j p =
+    if j <= 1 then Whisper_core.Analyze.run ~config ~jobs:1 p
+    else Whisper_core.Analyze.run ~config ~jobs:j ~pool p
+  in
+  let a1s = Array.map (fun p -> analyze ~jobs:1 p) sweep_profiles in
+  let hints =
+    Array.fold_left
+      (fun acc a -> acc + Whisper_core.Analyze.hint_count a)
+      0 a1s
+  in
+  List.iter
+    (fun j ->
+      Array.iteri
+        (fun i p ->
+          let aj = analyze ~jobs:j p in
+          if
+            aj.Whisper_core.Analyze.decisions
+            <> a1s.(i).Whisper_core.Analyze.decisions
+          then
+            failwith
+              (Printf.sprintf "parallel analysis disagrees with sequential (-j%d)" j))
+        sweep_profiles)
+    (List.sort_uniq compare [ 2; 4; used_jobs ]);
+  let time_sweep j =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t =
+        Array.fold_left
+          (fun acc p ->
+            acc +. (analyze ~jobs:j p).Whisper_core.Analyze.training_seconds)
+          0.0 sweep_profiles
+      in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let t1 = time_sweep 1 in
+  let t2 = time_sweep 2 in
+  let t4 = time_sweep 4 in
+  let t_used =
+    if used_jobs = 2 then t2
+    else if used_jobs = 4 then t4
+    else time_sweep used_jobs
+  in
+  let hps t = float_of_int hints /. max 1e-9 t in
   let scorer_speedup = naive_score_ns /. packed_score_ns in
   let find_speedup = find_ns /. find_packed_ns in
   let search_speedup = search_naive_ns /. search_packed_ns in
   let decide_speedup = decide_ref_ns /. decide_opt_ns in
-  let parallel_speedup =
-    a1.Whisper_core.Analyze.training_seconds
-    /. max 1e-9 aj.Whisper_core.Analyze.training_seconds
-  in
+  let parallel_speedup = t1 /. max 1e-9 t_used in
+  let parallel_speedup_j2 = t1 /. max 1e-9 t2 in
+  let parallel_speedup_j4 = t1 /. max 1e-9 t4 in
   Printf.printf "  mispredictions     %8.1f -> %7.1f ns/op  (%.1fx)\n"
     naive_score_ns packed_score_ns scorer_speedup;
   Printf.printf "  find (%d cands, %d pcs) %8.1f -> %7.1f ns/call  (%.1fx)\n" nc
@@ -387,8 +442,11 @@ let search_bench () =
     tt_build_ns packed_build_ns (tt_build_ns /. packed_build_ns);
   Printf.printf "  decide (%d pcs)   %8.1f -> %7.1f ns/op  (%.1fx)\n" n_pcs
     decide_ref_ns decide_opt_ns decide_speedup;
-  Printf.printf "  analysis           %d hints, %.0f hints/s (j1), %.0f hints/s (j%d, %.1fx)\n%!"
-    hints (hps a1) (hps aj) used_jobs parallel_speedup;
+  Printf.printf
+    "  analysis (%d apps)  %d hints, %.0f hints/s (j1); speedup %.2fx (j2), \
+     %.2fx (j4); %d host cores\n\
+     %!"
+    n_sweep hints (hps t1) parallel_speedup_j2 parallel_speedup_j4 host_cores;
   let out = Option.value ~default:"BENCH_search.json"
       (Sys.getenv_opt "WHISPER_BENCH_OUT")
   in
@@ -417,15 +475,22 @@ let search_bench () =
   "hints": %d,
   "hints_per_sec_j1": %.1f,
   "hints_per_sec_jn": %.1f,
+  "sweep_apps": %d,
+  "host_cores": %d,
   "jobs": %d,
-  "parallel_speedup": %.2f
+  "used_jobs": %d,
+  "parallel_speedup": %.2f,
+  "parallel_speedup_j2": %.2f,
+  "parallel_speedup_j4": %.2f,
+  "parallel_identical": true
 }
 |}
     n_events smoke n_pcs nc naive_score_ns packed_score_ns scorer_speedup
     find_ns find_packed_ns find_speedup search_naive_ns search_packed_ns
     search_speedup tt_build_ns packed_build_ns
-    decide_ref_ns decide_opt_ns decide_speedup hints (hps a1) (hps aj) used_jobs
-    parallel_speedup;
+    decide_ref_ns decide_opt_ns decide_speedup hints (hps t1) (hps t_used)
+    n_sweep host_cores used_jobs used_jobs parallel_speedup parallel_speedup_j2
+    parallel_speedup_j4;
   close_out oc;
   Printf.printf "  wrote %s\n%!" out;
   ignore !sink

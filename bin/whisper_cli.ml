@@ -309,16 +309,23 @@ let analyze_cmd =
   let run app events kb load save_plan jobs =
     let app = find_app app in
     let ctx = Whisper_sim.Runner.create_ctx ~events ~baseline_kb:kb () in
+    (* one persistent pool for the whole command: spawned here, reused by
+       every Analyze.run chunk-claiming fan-out (jobs - 1 workers; the
+       calling domain is the remaining claimer) *)
+    let pool =
+      if jobs > 1 then Some (Whisper_util.Pool.shared ~jobs:(jobs - 1))
+      else None
+    in
     let analysis =
       match load with
       | Some path -> (
           match Profile_io.load ~path with
-          | Ok p -> Whisper_core.Analyze.run ~jobs p
+          | Ok p -> Whisper_core.Analyze.run ~jobs ?pool p
           | Error e ->
               Printf.eprintf "error: %s\n"
                 (Whisper_util.Whisper_error.to_string e);
               exit 1)
-      | None -> Whisper_sim.Runner.whisper_analysis ~jobs ctx app
+      | None -> Whisper_sim.Runner.whisper_analysis ~jobs ?pool ctx app
     in
     Option.iter
       (fun path ->

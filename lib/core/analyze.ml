@@ -25,25 +25,48 @@ type t = {
   training_seconds : float;
 }
 
-(* [jobs > 1] fans the per-branch searches out over a domain pool in
-   deterministic index slices: each branch's decision is independent of
-   its neighbours, so concatenating slice results back in input order
-   yields exactly the sequential decision list — any [jobs] produces a
-   byte-identical plan.  [rnd]'s candidate ids and packed truth tables
-   are frozen at create and shared read-only across the workers. *)
+(* Parallel runs fan the per-branch searches out over a {e persistent}
+   domain pool ([Whisper_util.Pool.shared], or a caller-supplied pool):
+   each branch's decision is independent of its neighbours, so merging
+   chunk results back in candidate order yields exactly the sequential
+   decision list — any [jobs] produces a byte-identical plan.  [rnd]'s
+   candidate ids and packed truth tables are frozen at create and shared
+   read-only across the workers; each worker's count tables live in its
+   domain-local scratch ({!History_select.domain_scratch}), allocated
+   once per domain and reset between branches.
+
+   Work is claimed dynamically: the candidate range is cut into coarse
+   contiguous chunks and claimer copies pull chunk indices off an atomic
+   cursor, so a run of expensive branches (per-branch search cost is
+   heavily skewed — sample count and prune behaviour vary by 10x+)
+   delays only the claimer holding it instead of serializing a fixed
+   slice's tail. *)
 let m_runs = Whisper_util.Telemetry.counter "analyze.runs"
 let m_considered = Whisper_util.Telemetry.counter "analyze.considered"
 let m_hints = Whisper_util.Telemetry.counter "analyze.hints"
 
-let run ?(config = Config.default) ?(jobs = 1) profile =
+(* Enough chunks per claimer that skew balances (the slowest chunk is a
+   small fraction of a claimer's share), coarse enough that a claim —
+   one [fetch_and_add] — is noise against a chunk's many-microsecond
+   search cost.  Chunking affects scheduling only, never results. *)
+let chunk_count ~n ~width = min n (8 * width)
+
+let run ?(config = Config.default) ?(jobs = 1) ?pool profile =
   Whisper_util.Telemetry.span "analyze" @@ fun () ->
   let rnd = Randomized.create config in
   let t0 = Unix.gettimeofday () in
   let candidates = Profile.candidates profile in
   let n = Array.length candidates in
+  (* a pool passed with the default [jobs] means "use the pool's width" *)
+  let width =
+    match (jobs, pool) with
+    | j, _ when j > 1 -> j
+    | _, Some p -> Whisper_util.Pool.jobs p + 1
+    | _, None -> 1
+  in
   let decisions =
-    if jobs <= 1 then begin
-      let scratch = History_select.scratch config in
+    if width <= 1 || n <= 1 then begin
+      let scratch = History_select.domain_scratch config in
       let acc = ref [] and taken = ref 0 in
       Array.iter
         (fun pc ->
@@ -57,27 +80,39 @@ let run ?(config = Config.default) ?(jobs = 1) profile =
       List.rev !acc
     end
     else begin
-      let decide_slice (lo, hi) =
-        let scratch = History_select.scratch config in
-        let acc = ref [] in
-        for i = hi - 1 downto lo do
-          let pc = candidates.(i) in
-          match History_select.decide ~scratch config rnd profile ~pc with
-          | Some choice -> acc := (pc, choice) :: !acc
-          | None -> ()
-        done;
-        !acc
+      let pool =
+        match pool with
+        | Some p -> p
+        | None -> Whisper_util.Pool.shared ~jobs:(width - 1)
       in
-      let slices = Whisper_util.Pool.slices ~n ~chunks:(4 * jobs) in
-      let results = Whisper_util.Pool.map ~jobs decide_slice slices in
-      let all =
-        Array.fold_right
-          (fun r acc ->
-            match r with Ok l -> l @ acc | Error e -> raise e)
-          results []
+      let chunks = Whisper_util.Pool.slices ~n ~chunks:(chunk_count ~n ~width) in
+      let nchunks = Array.length chunks in
+      let results = Array.make nchunks [] in
+      let cursor = Atomic.make 0 in
+      let claim () =
+        let scratch = History_select.domain_scratch config in
+        let rec loop () =
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < nchunks then begin
+            let lo, hi = chunks.(c) in
+            let acc = ref [] in
+            for i = hi - 1 downto lo do
+              let pc = candidates.(i) in
+              match History_select.decide ~scratch config rnd profile ~pc with
+              | Some choice -> acc := (pc, choice) :: !acc
+              | None -> ()
+            done;
+            results.(c) <- !acc;
+            loop ()
+          end
+        in
+        loop ()
       in
-      (* cap exactly like the sequential early exit: the first
-         [max_hints] accepted branches in candidate order *)
+      Whisper_util.Pool.fanout pool ~width claim;
+      (* order-preserving merge by chunk index, then cap exactly like the
+         sequential early exit: the first [max_hints] accepted branches
+         in candidate order *)
+      let all = Array.fold_right (fun r acc -> r @ acc) results [] in
       List.filteri (fun i _ -> i < config.max_hints) all
     end
   in

@@ -25,17 +25,29 @@ type t = {
 val run :
   ?config:Config.t ->
   ?jobs:int ->
+  ?pool:Whisper_util.Pool.t ->
   Whisper_trace.Profile.t ->
   t
 (** Analyze every candidate branch of the profile: pick history length
     and formula (Algorithm 1 + randomized testing), keep branches whose
     formula beats the baseline, capped at [config.max_hints].
 
-    [jobs] (default 1) fans the independent per-branch searches out over
-    that many domains; the decision list — and hence any serialized plan —
-    is byte-identical for every job count.  Callers already running
-    inside a domain pool should keep the default to avoid
-    oversubscription. *)
+    [jobs] (default 1) is the number of concurrent claimers the
+    chunk-claiming scheduler runs: candidate branches are cut into
+    coarse chunks, claimers pull chunks off an atomic cursor (so skewed
+    per-branch search cost rebalances instead of serializing a fixed
+    slice), and every claimer keeps a domain-local scratch reused across
+    branches and across calls.  The decision list — and hence any
+    serialized plan — is byte-identical for every job count and pool.
+
+    [pool] is the persistent pool to run on.  Default: the process-wide
+    {!Whisper_util.Pool.shared} pool when [jobs > 1] (never a transient
+    per-call pool — domain spawn costs more than a typical whole
+    analysis).  Passing a pool with the default [jobs] uses the pool's
+    full width.  Calls from inside a pool worker degrade to sequential
+    automatically, so nested fan-out cannot deadlock; callers already
+    running inside a domain pool should still keep the default [jobs]
+    to avoid oversubscription. *)
 
 val hint_count : t -> int
 

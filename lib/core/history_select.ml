@@ -179,6 +179,31 @@ let scratch (cfg : Config.t) =
     alg = Algorithm1.scratch ();
   }
 
+let reset_scratch s = Array.fill s.counts 0 (Array.length s.counts) 0
+let scratch_clean s = Array.for_all (fun c -> c = 0) s.counts
+
+let poison_scratch s =
+  Array.fill s.counts 0 (Array.length s.counts) 0x0101_0101;
+  Array.fill s.incs 0 (Array.length s.incs) min_int
+
+(* One cached workspace per domain, reused across branches {e and} across
+   [Analyze.run] calls (the persistent-pool scheduler keeps domains
+   alive, so the cache actually survives).  [decide] restores the
+   all-zero counter invariant before returning, which is what makes
+   handing the same buffers to the next branch sound; a cached scratch
+   is grown — never shrunk — when a config needs more history lengths. *)
+let dls_scratch : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let domain_scratch (cfg : Config.t) =
+  let cell = Domain.DLS.get dls_scratch in
+  match !cell with
+  | Some s when Array.length s.counts >= cfg.n_lengths lsl 8 -> s
+  | _ ->
+      let s = scratch cfg in
+      cell := Some s;
+      s
+
 (* Fill [s.counts] plus per-half baseline stats from the raw sample
    records.  Counts must be all-zero on entry (the invariant [decide]
    restores before returning).

@@ -36,6 +36,28 @@ type scratch
 val scratch : Config.t -> scratch
 (** Workspace sized for [cfg.n_lengths] history series. *)
 
+val domain_scratch : Config.t -> scratch
+(** The calling domain's cached workspace, allocated on first use and
+    reused across branches and across [Analyze.run] calls; grown (never
+    shrunk) when a config needs more history lengths than any earlier
+    one.  Sound because {!decide} restores the all-zero counter
+    invariant before returning.  Per-domain by construction, so the
+    "never share a scratch across domains" rule holds automatically. *)
+
+val reset_scratch : scratch -> unit
+(** Restore the all-zero counter invariant {!decide} requires on entry.
+    Only needed after external corruption (see {!poison_scratch}) —
+    {!decide} itself always leaves the scratch clean. *)
+
+val scratch_clean : scratch -> bool
+(** Whether every counter cell is zero — the invariant {!decide} must
+    restore before returning.  Test hook for the scratch-reuse contract. *)
+
+val poison_scratch : scratch -> unit
+(** Overwrite the workspace with garbage.  Test hook: simulates a buggy
+    consumer so tests can prove a dirty scratch is what breaks reuse and
+    {!reset_scratch}/{!decide}'s exit invariant is what repairs it. *)
+
 val decide :
   ?min_gain:int ->
   ?scratch:scratch ->

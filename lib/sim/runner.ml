@@ -276,15 +276,16 @@ let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
 (* [jobs] defaults to 1 — most callers (experiment tables, batch tasks)
    already run inside a domain pool, where nested fan-out would
    oversubscribe.  Only top-level callers (the CLI analyze command)
-   should pass the user's [-j]. *)
+   should pass the user's [-j], and may thread their persistent [pool]
+   through so consecutive analyses reuse the same worker domains. *)
 let whisper_analysis ?(config = Whisper_core.Config.default)
-    ?(train_inputs = [ 0 ]) ?(jobs = 1) ctx app =
+    ?(train_inputs = [ 0 ]) ?(jobs = 1) ?pool ctx app =
   let p = profile ~inputs:train_inputs ctx app in
-  Whisper_core.Analyze.run ~config ~jobs p
+  Whisper_core.Analyze.run ~config ~jobs ?pool p
 
 let whisper_plan ?(config = Whisper_core.Config.default)
-    ?(train_inputs = [ 0 ]) ?(jobs = 1) ctx app =
-  let analysis = whisper_analysis ~config ~train_inputs ~jobs ctx app in
+    ?(train_inputs = [ 0 ]) ?(jobs = 1) ?pool ctx app =
+  let analysis = whisper_analysis ~config ~train_inputs ~jobs ?pool ctx app in
   let cfg = cfg_of ctx app in
   let train_input = List.hd train_inputs in
   let plan_source =
@@ -660,9 +661,12 @@ let run_phase ctx works =
     when ctx.fault <> None || ctx.policy <> Whisper_util.Pool.default_policy ->
       run_phase_degraded ctx works
   | [ w ] -> exec_work ctx w
+  | works when ctx.n_jobs <= 1 -> List.iter (exec_work ctx) works
   | works ->
-      Whisper_util.Pool.map ~jobs:ctx.n_jobs (exec_work ctx)
-        (Array.of_list works)
+      (* phases are short and batches run many of them: reuse the
+         process-wide pool instead of spawning domains per phase *)
+      let pool = Whisper_util.Pool.shared ~jobs:ctx.n_jobs in
+      Whisper_util.Pool.map_pool pool (exec_work ctx) (Array.of_list works)
       |> Array.iter (function Ok () -> () | Error e -> raise e)
 
 let run_batch ctx works =

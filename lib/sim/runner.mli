@@ -159,18 +159,21 @@ val whisper_analysis :
   ?config:Whisper_core.Config.t ->
   ?train_inputs:int list ->
   ?jobs:int ->
+  ?pool:Whisper_util.Pool.t ->
   ctx ->
   Whisper_trace.Workloads.config ->
   Whisper_core.Analyze.t
 (** The offline analysis by itself (for Figs. 6, 7, 15, 16, 19).
-    [jobs] (default 1) parallelizes the per-branch search; plans are
-    byte-identical for any value.  Keep the default when already running
-    inside a domain pool. *)
+    [jobs] (default 1) parallelizes the per-branch search over [pool]
+    (default: the process-wide shared pool); plans are byte-identical
+    for any value of either.  Keep the default [jobs] when already
+    running inside a domain pool. *)
 
 val whisper_plan :
   ?config:Whisper_core.Config.t ->
   ?train_inputs:int list ->
   ?jobs:int ->
+  ?pool:Whisper_util.Pool.t ->
   ctx ->
   Whisper_trace.Workloads.config ->
   Whisper_core.Inject.t

@@ -20,6 +20,15 @@ type 'a future = {
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 let jobs t = t.n_jobs
 
+(* Worker identity, per domain: nested fan-out from inside a pool task
+   must not wait on its own pool (with every worker waiting there would
+   be nobody left to run the nested tasks), so the parallel entry points
+   below degrade to inline execution when the caller is a worker. *)
+let worker_flag : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let am_worker () = !(Domain.DLS.get worker_flag)
+
 (* Workers drain the queue until it is empty {e and} the pool is closing,
    so a shutdown never drops queued tasks. *)
 let rec worker t =
@@ -56,7 +65,11 @@ let create ?queue_capacity ~jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init jobs (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.get worker_flag := true;
+            worker t));
   t
 
 let submit t f =
@@ -204,3 +217,41 @@ let map ?jobs f xs =
         let futures = Array.map (fun x -> submit pool (fun () -> f x)) xs in
         Array.map await futures)
   end
+
+let map_pool t f xs =
+  if Array.length xs <= 1 || am_worker () then
+    Array.map (fun x -> try Ok (f x) with e -> Error e) xs
+  else begin
+    let futures = Array.map (fun x -> submit t (fun () -> f x)) xs in
+    Array.map await futures
+  end
+
+let fanout t ~width f =
+  (* [width - 1] pool copies plus one inline in the calling domain: the
+     caller would otherwise idle in [await] while holding a core, which
+     is exactly the handoff latency this entry point exists to avoid. *)
+  let width = max 1 (min width (t.n_jobs + 1)) in
+  if width = 1 || am_worker () then f ()
+  else begin
+    let futures = List.init (width - 1) (fun _ -> submit t f) in
+    let inline = try Ok (f ()) with e -> Error e in
+    let outcomes = inline :: List.map await futures in
+    List.iter (function Ok () -> () | Error e -> raise e) outcomes
+  end
+
+(* The process-wide persistent pool.  Grown (never shrunk) to the widest
+   request seen; a superseded narrower pool is abandoned rather than
+   joined — its idle workers cost nothing, while joining here could
+   block behind a straggler task still running on it. *)
+let shared_lock = Mutex.create ()
+let shared_pool : t option ref = ref None
+
+let shared ~jobs =
+  let jobs = max 1 jobs in
+  Mutex.protect shared_lock (fun () ->
+      match !shared_pool with
+      | Some p when p.n_jobs >= jobs -> p
+      | _ ->
+          let p = create ~jobs () in
+          shared_pool := Some p;
+          p)

@@ -50,7 +50,44 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** Order-preserving parallel map over a transient pool: [(map f xs).(i)]
     is the outcome of [f xs.(i)].  With [jobs <= 1] (default
     {!default_jobs}) the calls run sequentially in the caller's domain;
-    either way per-element exceptions are captured, not raised. *)
+    either way per-element exceptions are captured, not raised.
+
+    Each call spawns and joins its own domains — fine for long batches,
+    ruinous for millisecond workloads.  Short or repeated fan-outs should
+    use {!map_pool} / {!fanout} over a persistent pool instead. *)
+
+(** {2 Persistent-pool scheduling}
+
+    Spawning a domain costs on the order of a millisecond; the seed
+    per-call [map] paid it on every analysis, which is where the old
+    sub-1x "parallel speedup" went (DESIGN.md §12).  These entry points
+    reuse a long-lived pool so dispatch cost is an enqueue, not a spawn.
+    Both degrade to inline sequential execution when called from inside
+    a pool worker, so nested fan-out can never deadlock the pool. *)
+
+val am_worker : unit -> bool
+(** Whether the calling domain is a pool worker (any pool). *)
+
+val map_pool : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** {!map} semantics on an existing pool: order-preserving, per-element
+    exceptions captured, no spawn/join.  The pool is left running. *)
+
+val fanout : t -> width:int -> (unit -> unit) -> unit
+(** Run [width] concurrent copies of a self-scheduling task body —
+    [width - 1] on pool workers plus one inline in the calling domain —
+    and return when all have finished.  [width] is clamped to
+    [jobs t + 1]; [width <= 1] runs the body once inline.  The body is
+    expected to claim its own work (e.g. chunks off an atomic cursor),
+    so copies are interchangeable.  The first exception raised by any
+    copy is re-raised after all copies finish. *)
+
+val shared : jobs:int -> t
+(** The process-wide persistent pool, created on first use and grown
+    (never shrunk) to the widest [jobs] ever requested.  Serves every
+    repeated short-lived fan-out in the process — analysis chunk
+    claiming, batch phases — so worker domains are spawned once per
+    process instead of once per call.  Never shut it down; it lives for
+    the whole process. *)
 
 (** {2 Timeouts and retries}
 

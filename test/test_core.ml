@@ -426,14 +426,12 @@ let test_decide_matches_reference () =
     pcs
 
 let test_parallel_analysis_deterministic () =
-  (* fanning the per-branch searches over domains must not change a
-     single decision — serialized plans are byte-identical for any -j *)
+  (* fanning the per-branch searches over the chunk-claiming scheduler
+     must not change a single decision — serialized plans are
+     byte-identical for any -j, and for an explicitly supplied pool *)
   let app = tiny_app () in
   let cfg, prof = profile_of app ~events:40_000 in
   let a1 = Analyze.run ~jobs:1 prof in
-  let a4 = Analyze.run ~jobs:4 prof in
-  check_bool "identical decisions for j1 and j4" true
-    (a1.Analyze.decisions = a4.Analyze.decisions);
   let plan_bytes (a : Analyze.t) =
     let plan =
       Inject.plan Config.default cfg
@@ -443,8 +441,69 @@ let test_parallel_analysis_deterministic () =
     in
     Plan_io.to_bytes plan
   in
-  check_bool "byte-identical serialized plans" true
-    (Bytes.equal (plan_bytes a1) (plan_bytes a4))
+  let bytes1 = plan_bytes a1 in
+  List.iter
+    (fun jobs ->
+      let aj = Analyze.run ~jobs prof in
+      check_bool (Printf.sprintf "identical decisions for j1 and j%d" jobs)
+        true
+        (a1.Analyze.decisions = aj.Analyze.decisions);
+      check_bool
+        (Printf.sprintf "byte-identical serialized plan at j%d" jobs)
+        true
+        (Bytes.equal bytes1 (plan_bytes aj)))
+    [ 2; 4 ];
+  let pool = Whisper_util.Pool.create ~jobs:3 () in
+  let ap = Analyze.run ~pool prof in
+  check_bool "identical decisions on an explicit pool" true
+    (a1.Analyze.decisions = ap.Analyze.decisions);
+  Whisper_util.Pool.shutdown pool
+
+let test_analysis_pool_reuse () =
+  (* the point of the persistent scheduler: consecutive analyses reuse
+     one pool (and each domain's scratch) without any cross-call state
+     leaking into the decisions, and the pool stays serviceable *)
+  let app = tiny_app () in
+  let _, prof = profile_of app ~events:40_000 in
+  let a1 = Analyze.run ~jobs:1 prof in
+  let pool = Whisper_util.Pool.create ~jobs:2 () in
+  for i = 1 to 3 do
+    let a = Analyze.run ~jobs:3 ~pool prof in
+    check_bool (Printf.sprintf "reused-pool run %d matches sequential" i)
+      true
+      (a1.Analyze.decisions = a.Analyze.decisions)
+  done;
+  let fut = Whisper_util.Pool.submit pool (fun () -> 9) in
+  check_bool "pool still serviceable after analyses" true
+    (Whisper_util.Pool.await fut = Ok 9);
+  Whisper_util.Pool.shutdown pool
+
+let test_scratch_reuse_sound () =
+  (* domain-local scratch reuse is only sound because decide restores
+     the all-zero counter invariant on every exit: a poisoned scratch,
+     once reset, must be indistinguishable from a fresh allocation *)
+  let app = tiny_app () in
+  let _, prof = profile_of app ~events:40_000 in
+  let config = Config.default in
+  let rnd = Randomized.create config in
+  let pcs = Profile.candidates prof in
+  check_bool "profile has candidate branches" true (Array.length pcs > 0);
+  let dirty = History_select.scratch config in
+  History_select.poison_scratch dirty;
+  check_bool "poison really dirties the counters" false
+    (History_select.scratch_clean dirty);
+  History_select.reset_scratch dirty;
+  check_bool "reset restores the clean invariant" true
+    (History_select.scratch_clean dirty);
+  Array.iter
+    (fun pc ->
+      let fresh = History_select.scratch config in
+      let a = History_select.decide ~scratch:dirty config rnd prof ~pc in
+      let b = History_select.decide ~scratch:fresh config rnd prof ~pc in
+      check_bool (Printf.sprintf "same choice at pc 0x%x" pc) true (a = b);
+      check_bool "decide leaves the scratch clean" true
+        (History_select.scratch_clean dirty))
+    pcs
 
 let test_inject_plan_validity () =
   let app = tiny_app () in
@@ -679,6 +738,9 @@ let () =
               test_decide_matches_reference;
             test_case "parallel analysis deterministic" `Quick
               test_parallel_analysis_deterministic;
+            test_case "pool reuse across analyses" `Quick
+              test_analysis_pool_reuse;
+            test_case "scratch reuse sound" `Quick test_scratch_reuse_sound;
           ] );
       ( "hint_buffer",
         Alcotest.

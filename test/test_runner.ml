@@ -78,6 +78,66 @@ let test_pool_submit_await () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Pool: persistent-pool scheduling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_pool_reusable () =
+  (* map_pool runs on an existing pool — no domains spawned per call —
+     and the pool survives any number of maps *)
+  let pool = Whisper_util.Pool.create ~jobs:2 () in
+  let xs = Array.init 50 Fun.id in
+  let ys = Whisper_util.Pool.map_pool pool (fun i -> i * 7) xs in
+  Array.iteri (fun i r -> check_int "slot" (i * 7) (ok r)) ys;
+  let zs = Whisper_util.Pool.map_pool pool (fun i -> i - 1) xs in
+  Array.iteri (fun i r -> check_int "second map, same pool" (i - 1) (ok r)) zs;
+  Whisper_util.Pool.shutdown pool
+
+let test_pool_fanout_width () =
+  let pool = Whisper_util.Pool.create ~jobs:3 () in
+  let hits = Atomic.make 0 in
+  Whisper_util.Pool.fanout pool ~width:4 (fun () -> Atomic.incr hits);
+  check_int "every claimer ran the body once" 4 (Atomic.get hits);
+  Atomic.set hits 0;
+  Whisper_util.Pool.fanout pool ~width:99 (fun () -> Atomic.incr hits);
+  check_int "width clamped to workers + caller" 4 (Atomic.get hits);
+  check_bool "claimer exception propagates" true
+    (match Whisper_util.Pool.fanout pool ~width:2 (fun () -> failwith "boom") with
+    | exception Failure _ -> true
+    | () -> false);
+  Whisper_util.Pool.shutdown pool
+
+let test_pool_nested_fanout_inline () =
+  (* fan-out from inside a pool worker must degrade to an inline call
+     (one body execution, no submissions) or the pool would deadlock
+     waiting on itself *)
+  let pool = Whisper_util.Pool.create ~jobs:2 () in
+  let inner = Atomic.make 0 in
+  let ys =
+    Whisper_util.Pool.map_pool pool
+      (fun i ->
+        Whisper_util.Pool.fanout pool ~width:4 (fun () -> Atomic.incr inner);
+        i)
+      (Array.init 4 Fun.id)
+  in
+  Array.iteri (fun i r -> check_int "outer task" i (ok r)) ys;
+  check_int "nested fanout ran inline exactly once per task" 4
+    (Atomic.get inner);
+  Whisper_util.Pool.shutdown pool
+
+let test_pool_shared_grows () =
+  (* the process-wide pool only ever widens; narrower requests reuse
+     the existing pool rather than churning domains *)
+  let p2 = Whisper_util.Pool.shared ~jobs:2 in
+  check_bool "at least two workers" true (Whisper_util.Pool.jobs p2 >= 2);
+  let p1 = Whisper_util.Pool.shared ~jobs:1 in
+  check_bool "narrower request reuses the wide pool" true (p1 == p2);
+  let p3 = Whisper_util.Pool.shared ~jobs:(Whisper_util.Pool.jobs p2 + 1) in
+  check_bool "wider request grows the pool" true
+    (Whisper_util.Pool.jobs p3 > Whisper_util.Pool.jobs p2);
+  let fut = Whisper_util.Pool.submit p3 (fun () -> 41 + 1) in
+  check_int "shared pool runs tasks" 42 (ok (Whisper_util.Pool.await fut))
+
+(* ------------------------------------------------------------------ *)
 (* Pool: timeouts and retries                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,6 +582,11 @@ let () =
             test_case "map matches sequential" `Quick test_pool_map_matches_sequential;
             test_case "exception isolated" `Quick test_pool_exception_isolated;
             test_case "submit/await/shutdown" `Quick test_pool_submit_await;
+            test_case "map_pool reusable" `Quick test_pool_map_pool_reusable;
+            test_case "fanout width" `Quick test_pool_fanout_width;
+            test_case "nested fanout inline" `Quick
+              test_pool_nested_fanout_inline;
+            test_case "shared pool grows" `Quick test_pool_shared_grows;
             test_case "await timeout" `Quick test_pool_await_timeout;
             test_case "retry transient" `Quick test_pool_retry_transient;
             test_case "retry exhausted" `Quick test_pool_retry_exhausted;
