@@ -6,7 +6,9 @@
      profile     collect + summarize an in-production profile
      analyze     run the offline branch analysis, show hints
      trace       PT-encode a trace to a file / verify round trip
-     experiment  regenerate a paper table/figure (or all of them) *)
+     experiment  regenerate a paper table/figure (or all of them)
+     sweep       crash-safe sharded fleet sweep (journaled, resumable)
+     worker      internal sweep worker process *)
 
 open Cmdliner
 open Whisper_trace
@@ -517,6 +519,206 @@ let experiment_cmd =
       $ replay_arg $ no_cache_arg $ cache_dir_arg $ faults_arg $ fault_seed_arg
       $ retries_arg $ task_timeout_arg $ metrics_out_arg $ trace_out_arg)
 
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let fleet_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "fleet" ] ~docv:"N"
+          ~doc:"Number of parameter-sampled fleet applications to sweep")
+  in
+  let fleet_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fleet-seed" ] ~docv:"SEED"
+          ~doc:"Sampling seed of the fleet (same seed = same applications)")
+  in
+  let catalog_arg =
+    Arg.(
+      value & flag
+      & info [ "catalog" ]
+          ~doc:
+            "Sweep the 12 catalogue data-center applications instead of a \
+             sampled fleet")
+  in
+  let techniques_arg =
+    Arg.(
+      value
+      & opt (list string) Whisper_sim.Sweep.default_techniques
+      & info [ "techniques" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated techniques: tage-scl, ideal, mtage-sc, \
+             4b-rombf, 8b-rombf, whisper")
+  in
+  let state_dir_arg =
+    Arg.(
+      value & opt string "_whisper_sweep"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info "WHISPER_SWEEP_DIR")
+          ~doc:
+            "Sweep state root: manifest, completion journal and the shared \
+             result cache live here — and $(b,--resume) replays them")
+  in
+  let in_process_arg =
+    Arg.(
+      value & flag
+      & info [ "in-process" ]
+          ~doc:
+            "Run work items on domains inside this process instead of \
+             supervised worker processes")
+  in
+  let worker_exe_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-exe" ] ~docv:"PATH"
+          ~env:(Cmd.Env.info "WHISPER_WORKER_EXE")
+          ~doc:
+            "Executable spawned as `$(docv) worker' for each shard (default: \
+             this binary)")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the state directory's journal: verified completions \
+             are skipped, everything else re-runs.  The final report is \
+             byte-identical to an uninterrupted sweep")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "heartbeat" ] ~docv:"SECONDS"
+          ~doc:"Worker heartbeat period")
+  in
+  let hang_timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "hang-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Silence from a busy worker before it is declared hung and \
+             SIGKILLed")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:"Respawns granted to each worker slot before giving up")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Tries per item for failures that leave the worker alive")
+  in
+  let max_completions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-completions" ] ~docv:"K"
+          ~doc:
+            "Testing hook: stop (as if killed) after $(docv) journaled \
+             completions, skipping the report")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the fleet report as CSV")
+  in
+  let run fleet fleet_seed catalog techniques events kb state_dir jobs
+      in_process worker_exe faults fault_seed heartbeat hang_timeout
+      max_restarts max_attempts resume max_completions csv metrics_out
+      trace_out =
+    let apps =
+      if catalog then
+        Array.to_list Workloads.datacenter
+        |> List.map (fun (c : Workloads.config) ->
+               Whisper_sim.Sweep.Catalog c.name)
+      else Whisper_sim.Sweep.fleet ~seed:fleet_seed ~n:fleet
+    in
+    (match
+       List.find_opt
+         (fun t -> Whisper_sim.Sweep.parse_technique t = None)
+         techniques
+     with
+    | Some t ->
+        Printf.eprintf "unknown sweep technique %S\n" t;
+        exit 1
+    | None -> ());
+    let exe = Option.value worker_exe ~default:Sys.executable_name in
+    let cfg =
+      {
+        (Whisper_sim.Sweep.default ~state_dir) with
+        apps;
+        techniques;
+        events;
+        kb;
+        jobs;
+        mode = (if in_process then `In_process else `Process);
+        worker_argv = [| exe; "worker" |];
+        faults;
+        fault_seed;
+        heartbeat_s = heartbeat;
+        hang_timeout_s = hang_timeout;
+        max_worker_restarts = max_restarts;
+        max_attempts;
+        resume;
+        max_completions;
+      }
+    in
+    let o = Whisper_sim.Sweep.run cfg in
+    Printf.eprintf
+      "sweep: manifest %s — %d items, %d completed, %d resumed, %d \
+       quarantined\n"
+      o.Whisper_sim.Sweep.manifest_id o.total o.completed o.resumed
+      o.quarantined;
+    if o.worker_crashes + o.worker_hangs + o.worker_restarts > 0 then
+      Printf.eprintf
+        "sweep: workers — %d crashed, %d hung (SIGKILLed), %d restarted\n"
+        o.worker_crashes o.worker_hangs o.worker_restarts;
+    if o.fellback then
+      Printf.eprintf
+        "sweep: worker processes unavailable; degraded to in-process \
+         execution\n";
+    if o.journal_recovered then
+      Printf.eprintf "sweep: journal recovered (%d corrupt bytes dropped)\n"
+        o.journal_dropped_bytes;
+    (match o.report with
+    | None -> Printf.eprintf "sweep: interrupted before completion\n"
+    | Some report ->
+        Whisper_sim.Report.print report;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Whisper_sim.Report.to_csv report);
+            close_out oc;
+            Printf.eprintf "sweep: csv written to %s\n" path)
+          csv);
+    emit_telemetry ~summary:true ~metrics_out ~trace_out ()
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a crash-safe sharded sweep over a fleet of applications \
+          (journaled, resumable with --resume)")
+    Term.(
+      const run $ fleet_arg $ fleet_seed_arg $ catalog_arg $ techniques_arg
+      $ events_arg 60_000 $ kb_arg $ state_dir_arg $ jobs_arg $ in_process_arg
+      $ worker_exe_arg $ faults_arg $ fault_seed_arg $ heartbeat_arg
+      $ hang_timeout_arg $ max_restarts_arg $ max_attempts_arg $ resume_arg
+      $ max_completions_arg $ csv_arg $ metrics_out_arg $ trace_out_arg)
+
+let worker_cmd =
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Internal: sweep worker process (speaks the supervisor protocol on \
+          stdin/stdout)")
+    Term.(const (fun () -> Whisper_sim.Sweep.worker_main ()) $ const ())
+
 let () =
   let info =
     Cmd.info "whisper" ~version:"1.0.0"
@@ -533,4 +735,6 @@ let () =
             classify_cmd;
             trace_cmd;
             experiment_cmd;
+            sweep_cmd;
+            worker_cmd;
           ]))

@@ -107,7 +107,11 @@ let find t ~key =
    the run that already has the arena in memory. *)
 let store t ~key arena =
   let file = path t ~key in
-  let tmp = Printf.sprintf "%s.%d.tmp" file (Domain.self () :> int) in
+  (* pid + domain, as in Result_cache.store: worker processes of one
+     sweep share this directory *)
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ()) (Domain.self () :> int)
+  in
   try
     Binio.to_file tmp (encode ~key arena);
     Sys.rename tmp file;

@@ -146,7 +146,12 @@ let find t ~key =
    much of its work failed to persist. *)
 let store t ~key r =
   let file = path t ~key in
-  let tmp = Printf.sprintf "%s.%d.tmp" file (Domain.self () :> int) in
+  (* pid + domain: sweep worker processes share one cache directory, and
+     every process numbers its domains from 0 — the pid keeps two workers
+     storing the same key from interleaving writes into one temp file *)
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ()) (Domain.self () :> int)
+  in
   try
     Binio.to_file tmp (encode ~key r);
     Sys.rename tmp file;

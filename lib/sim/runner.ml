@@ -436,6 +436,13 @@ let quarantined ctx =
       Hashtbl.fold (fun k e acc -> (k, e) :: acc) ctx.quarantine []
       |> List.sort compare)
 
+(* External quarantine entry point for the sweep supervisor: items that
+   killed their worker process never raise inside this process, so the
+   supervisor marks them here and {!run} reports them degraded instead
+   of silently recomputing them inline at aggregation time. *)
+let note_quarantined ctx ~key err =
+  Mutex.protect ctx.lock (fun () -> Hashtbl.replace ctx.quarantine key err)
+
 let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
     technique =
   let kb = Option.value baseline_kb ~default:ctx.base_kb in

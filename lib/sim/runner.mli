@@ -141,6 +141,19 @@ val profile :
 (** Memoized profile collection ([inputs] defaults to [[0]]; several
     inputs are collected separately and merged, Fig. 18). *)
 
+val run_key :
+  ctx ->
+  Whisper_trace.Workloads.config ->
+  technique ->
+  train_inputs:int list ->
+  test_input:int ->
+  kb:int ->
+  string
+(** The stable key {!run} memoizes and caches that configuration under —
+    also the sweep orchestrator's manifest/journal item key, so a worker
+    process's cache store and the supervisor's resume verification
+    address the same file. *)
+
 val run :
   ?train_inputs:int list ->
   ?test_input:int ->
@@ -217,6 +230,13 @@ val run_batch : ctx -> work list -> unit
 val quarantined : ctx -> (string * Whisper_util.Whisper_error.t) list
 (** Work items that exhausted their retry budget, with the final typed
     error each one died with, sorted by key. *)
+
+val note_quarantined :
+  ctx -> key:string -> Whisper_util.Whisper_error.t -> unit
+(** Externally quarantine a run key (the sweep supervisor's poison-item
+    path: a work item that killed its worker process twice fails in
+    another process, so nothing ever raises here).  Subsequent {!run}
+    calls for the key return a degraded result. *)
 
 val fault_summary : ctx -> Report.faults
 (** Cumulative chaos counters since [create_ctx] (monotone — snapshot

@@ -207,6 +207,40 @@ let spec =
 
 let all = Array.append datacenter spec
 
+(* Fleet sampling: derive app number [index] of a synthetic fleet from a
+   datacenter template, jittering the shape and behaviour parameters the
+   templates were calibrated over.  Pure in (seed, index) — the sweep
+   manifest only records the pair, and every worker process regenerates
+   the identical config.  Sampled apps are deliberately smaller than the
+   calibrated twelve: a fleet sweep trades per-app fidelity for app
+   count. *)
+let sample ~seed ~index =
+  if index < 0 then invalid_arg "Workloads.sample: negative index";
+  let rng = Rng.create ((seed * 0x9E3779B1) lxor ((index + 1) * 0x85EBCA77)) in
+  let base = datacenter.(index mod Array.length datacenter) in
+  let jitter lo hi = lo +. Rng.float rng (hi -. lo) in
+  let m = base.mix in
+  let scale_m f = f *. jitter 0.7 1.3 in
+  {
+    base with
+    name = Printf.sprintf "fleet-%04d-%s" index base.name;
+    seed = 100_000 + (seed * 1000) + index;
+    functions = 60 + Rng.int rng 180;
+    session_types = 24 + Rng.int rng 56;
+    session_len = (4, 8 + Rng.int rng 6);
+    func_zipf = base.func_zipf *. jitter 0.8 1.2;
+    session_zipf = base.session_zipf *. jitter 0.75 1.25;
+    noise = base.noise *. jitter 0.6 1.4;
+    mix =
+      {
+        m with
+        hashed = scale_m m.hashed;
+        random = scale_m m.random;
+        parity = scale_m m.parity;
+        short_f = scale_m m.short_f;
+      };
+  }
+
 let by_name name = Array.find_opt (fun c -> c.name = name) all
 
 (* ------------------------------------------------------------------ *)

@@ -70,6 +70,13 @@ val all : config array
 
 val by_name : string -> config option
 
+val sample : seed:int -> index:int -> config
+(** Parameter-sampled fleet application number [index]: a smaller,
+    jittered variant of datacenter template [index mod 12], named
+    ["fleet-%04d-<template>"].  Pure in [(seed, index)], so sweep
+    manifests record only the pair and worker processes regenerate the
+    identical config.  @raise Invalid_argument on a negative index. *)
+
 val build_cfg : config -> Cfg.t
 (** Deterministically generate the static program for a configuration
     (depends only on [config.seed] and the shape parameters). *)

@@ -1,4 +1,12 @@
-type op = Truncate | Bit_flip | Byte_drop | Version_skew | Delay | Hang
+type op =
+  | Truncate
+  | Bit_flip
+  | Byte_drop
+  | Version_skew
+  | Delay
+  | Hang
+  | Worker_crash
+  | Heartbeat_stall
 
 type decision = Pass | Inject of op
 
@@ -26,7 +34,13 @@ let op_name = function
   | Version_skew -> "version-skew"
   | Delay -> "delay"
   | Hang -> "hang"
+  | Worker_crash -> "worker-crash"
+  | Heartbeat_stall -> "heartbeat-stall"
 
+(* The byte/task operator family drawn by {!decision}.  The worker
+   operators are deliberately NOT in this array: they are consulted only
+   through {!worker_decision} on their own (seed, key) stream, so adding
+   them did not reshuffle which op every existing chaos key draws. *)
 let ops = [| Truncate; Bit_flip; Byte_drop; Version_skew; Delay; Hang |]
 
 (* Pure function of (seed, key): [Hashtbl.hash] of a string is stable
@@ -40,9 +54,20 @@ let decision t ~key =
     let rng = rng_of t ~key in
     if Rng.float rng 1.0 < t.rate then Inject (Rng.choose rng ops) else Pass
 
+(* Process-level faults for sweep workers, on their own pure stream:
+   the same (seed, key) always draws the same verdict, so a killed and
+   resumed sweep re-derives identical crash/stall sites. *)
+let worker_decision t ~key =
+  if t.rate <= 0.0 then `None
+  else
+    let rng = rng_of t ~key:("worker-op/" ^ key) in
+    if Rng.float rng 1.0 >= t.rate then `None
+    else if Rng.bool rng then `Crash
+    else `Stall
+
 let corrupt t ~key b =
   match decision t ~key with
-  | Pass | Inject (Delay | Hang) -> b
+  | Pass | Inject (Delay | Hang | Worker_crash | Heartbeat_stall) -> b
   | Inject op ->
       mark t;
       let rng = rng_of t ~key in
@@ -75,13 +100,15 @@ let corrupt t ~key b =
             let i = min 4 (len - 1) in
             Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + 1) land 0x7F));
             b
-        | Delay | Hang -> assert false
+        | Delay | Hang | Worker_crash | Heartbeat_stall -> assert false
       end
 
 let wrap t ~key ~attempt f =
   match decision t ~key with
   | Pass -> f ()
-  | Inject ((Truncate | Bit_flip | Byte_drop | Version_skew) as op) ->
+  | Inject
+      ((Truncate | Bit_flip | Byte_drop | Version_skew | Worker_crash
+       | Heartbeat_stall) as op) ->
       mark t;
       Whisper_error.raise_error ~context:key Whisper_error.Injected
         (Whisper_error.Malformed (Printf.sprintf "injected %s fault" (op_name op)))

@@ -19,7 +19,17 @@
     faults are {e transient}: a retry succeeds.  This split is what the
     runner's retry/quarantine policy is exercised against. *)
 
-type op = Truncate | Bit_flip | Byte_drop | Version_skew | Delay | Hang
+type op =
+  | Truncate
+  | Bit_flip
+  | Byte_drop
+  | Version_skew
+  | Delay
+  | Hang
+  | Worker_crash  (** a sweep worker process dies mid-item (kill -9 style) *)
+  | Heartbeat_stall
+      (** a sweep worker wedges silently — heartbeats stop, work never
+          finishes, and the supervisor's hang detection must reap it *)
 
 type decision = Pass | Inject of op
 
@@ -41,7 +51,20 @@ val injected : t -> int
 val op_name : op -> string
 
 val decision : t -> key:string -> decision
-(** The deterministic verdict for [key]. *)
+(** The deterministic verdict for [key] over the byte/task operator
+    family ([Worker_crash]/[Heartbeat_stall] are never drawn here — see
+    {!worker_decision} — so pre-existing chaos runs keep their exact
+    fault sites). *)
+
+val worker_decision : t -> key:string -> [ `None | `Crash | `Stall ]
+(** The process-level verdict for a sweep work item, pure in
+    [(seed, key)] on a stream independent of {!decision}'s: with
+    probability [rate], half the afflicted keys crash the worker
+    executing them ([`Crash], modelling a seg-faulting item) and half
+    wedge it silently ([`Stall], modelling a hang that only heartbeat
+    monitoring can detect).  A key's verdict never changes across
+    attempts, which is exactly what exercises the supervisor's
+    poison-item quarantine. *)
 
 val corrupt : t -> key:string -> bytes -> bytes
 (** Apply the byte operator chosen for [key], if any ([Delay]/[Hang]

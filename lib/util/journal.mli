@@ -1,0 +1,67 @@
+(** Append-only, checksummed completion journal for crash-safe sweeps.
+
+    The journal is the supervisor's write-ahead record of work-item
+    outcomes: one self-contained record per completed or quarantined
+    item, appended (and pushed to the OS) before the item is considered
+    done.  A process killed with [SIGKILL] at any instant therefore
+    leaves either a fully decodable journal, or one with a torn final
+    record — and recovery handles the torn case by {e truncating} the
+    corrupt suffix (tmp + rename, like the persistent caches) and
+    counting what was dropped, so the affected items simply re-run.
+
+    Records carry a marker byte, a length-guarded varint payload size
+    and an 8-byte payload digest; the header binds the journal to one
+    {!Manifest} id.  All decode failures are typed {!Whisper_error.t}s
+    with stage [Journal] — corrupt bytes can never crash recovery. *)
+
+type status = Done | Quarantined
+
+type entry = { key : string; status : status; detail : string }
+(** [detail] is the result digest for [Done] entries (re-verified
+    against the result cache on resume) and the failure reason for
+    [Quarantined] ones. *)
+
+type t
+(** An open journal, positioned for appends. *)
+
+type recovery = {
+  entries : entry list;  (** decodable records, in append order *)
+  dropped_bytes : int;  (** corrupt suffix truncated away *)
+  corrupt_tail : bool;  (** whether truncation happened *)
+}
+
+val format_version : int
+
+val create : path:string -> manifest_id:string -> t
+(** Start a fresh journal (truncating any existing file) bound to
+    [manifest_id].  Creates parent directories. *)
+
+val open_existing :
+  path:string -> manifest_id:string -> (t * recovery, Whisper_error.t) result
+(** Recover an existing journal: verify the header (typed [Error] on a
+    missing file, bad magic, version skew or a different manifest id —
+    the caller then starts fresh), decode records until the first
+    corrupt one, truncate the corrupt suffix in place (atomic rewrite),
+    and return the journal opened for further appends. *)
+
+val append : t -> entry -> unit
+(** Append one record and push it to the OS before returning.  Write
+    failures raise [Sys_error]/[Unix_error] — a sweep that cannot
+    journal must not pretend to be resumable. *)
+
+val close : t -> unit
+val path : t -> string
+
+val entry_equal : entry -> entry -> bool
+
+(** {2 Codec internals, exposed for fuzzing} *)
+
+val encode_header : manifest_id:string -> bytes
+val encode_entry : entry -> bytes
+
+val decode_all :
+  manifest_id:string -> bytes -> (recovery, Whisper_error.t) result
+(** Pure recovery over raw journal bytes: header errors come back as
+    [Error]; record corruption is absorbed into the returned
+    {!recovery} (prefix entries + dropped byte count).  Total on any
+    input. *)

@@ -7,6 +7,9 @@ type stage =
   | Arena_cache
   | Task
   | Injected
+  | Manifest
+  | Journal
+  | Worker
 
 type kind =
   | Truncated
@@ -43,6 +46,9 @@ let stage_name = function
   | Arena_cache -> "arena-cache"
   | Task -> "task"
   | Injected -> "injected"
+  | Manifest -> "manifest"
+  | Journal -> "journal"
+  | Worker -> "worker"
 
 let kind_to_string = function
   | Truncated -> "truncated input"

@@ -19,6 +19,9 @@ type stage =
   | Arena_cache  (** packed trace-replay arenas (in-memory codec + disk cache) *)
   | Task  (** a batch work item (simulation / collection) *)
   | Injected  (** a fault planted by {!Fault} *)
+  | Manifest  (** sweep work-item manifests *)
+  | Journal  (** sweep completion journals *)
+  | Worker  (** the supervisor/worker wire protocol *)
 
 type kind =
   | Truncated  (** input ends mid-value *)

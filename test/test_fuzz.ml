@@ -108,6 +108,45 @@ let cache_bytes =
       seg_instrs = Array.init 10 (fun i -> 1600 + i);
     }
 
+let manifest_bytes =
+  Manifest.encode
+    (Manifest.make
+       ~meta:[ ("events", "2000"); ("kb", "64"); ("seed", "7") ]
+       (Array.init 8 (fun i ->
+            {
+              Manifest.key = Printf.sprintf "fuzz/app-%d/whisper/0/1/64/2000" i;
+              spec = Printf.sprintf "spec-blob-%d" i;
+            })))
+
+let journal_manifest_id = "0123456789abcdef0123456789abcdef"
+
+let journal_entries =
+  [
+    { Journal.key = "item-a"; status = Journal.Done; detail = "digest-a" };
+    { Journal.key = "item-b"; status = Journal.Quarantined; detail = "poison" };
+    { Journal.key = "item-c"; status = Journal.Done; detail = "digest-c" };
+  ]
+
+let journal_bytes =
+  List.fold_left
+    (fun acc e -> Bytes.cat acc (Journal.encode_entry e))
+    (Journal.encode_header ~manifest_id:journal_manifest_id)
+    journal_entries
+
+let ipc_to_worker_bytes =
+  Ipc.encode_to_worker
+    (Ipc.Item
+       { seq = 7; attempt = 1; key = "fuzz/item"; spec = "spec\x00\xffblob" })
+
+let ipc_from_worker_bytes =
+  Ipc.encode_from_worker
+    (Ipc.Finished
+       {
+         seq = 7;
+         key = "fuzz/item";
+         outcome = Ipc.Completed { digest = "0011223344556677" };
+       })
+
 (* ------------------------------------------------------------------ *)
 (* Corruption operators (mirrors of the Fault byte operators, driven   *)
 (* by an explicit RNG for breadth)                                     *)
@@ -181,6 +220,38 @@ let decoders =
       arena_cache_bytes,
       fun b ->
         match Whisper_sim.Arena_cache.decode ~key:arena_entry_key b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "manifest",
+      manifest_bytes,
+      fun b ->
+        match Manifest.decode b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "journal",
+      journal_bytes,
+      fun b ->
+        (* recovery is total: header damage is a typed error; record
+           damage is absorbed as a truncated-tail recovery, which still
+           counts as detected *)
+        match Journal.decode_all ~manifest_id:journal_manifest_id b with
+        | Error e -> Some (Whisper_error.to_string e)
+        | Ok r ->
+            if
+              r.Journal.corrupt_tail
+              || List.length r.Journal.entries < List.length journal_entries
+            then Some "journal: corrupt suffix truncated"
+            else None );
+    ( "ipc_to_worker",
+      ipc_to_worker_bytes,
+      fun b ->
+        match Ipc.decode_to_worker b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "ipc_from_worker",
+      ipc_from_worker_bytes,
+      fun b ->
+        match Ipc.decode_from_worker b with
         | Ok _ -> None
         | Error e -> Some (Whisper_error.to_string e) );
   ]
@@ -355,6 +426,79 @@ let test_arena_cache_chaos_drop_and_regenerate () =
   | None -> Alcotest.fail "clean cache lost the entry"
 
 (* ------------------------------------------------------------------ *)
+(* Journal recovery under arbitrary corruption                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The kill -9 safety argument leans entirely on journal recovery, so it
+   gets its own property beyond decoder totality: whatever happens to
+   the bytes — one corruption or several stacked — recovery never
+   raises, and when it does accept a prefix, every recovered entry is
+   bit-identical to the original at that position (the per-record
+   checksum makes a mutated-but-accepted record a broken invariant, not
+   bad luck). *)
+let test_journal_recovery_prefix_under_corruption () =
+  let rng = Rng.create (seed lxor 0x10A1) in
+  let originals = Array.of_list journal_entries in
+  for case = 1 to cases do
+    let bad = ref journal_bytes in
+    for _ = 0 to Rng.int rng 3 do
+      bad := corrupt_one rng !bad
+    done;
+    match Journal.decode_all ~manifest_id:journal_manifest_id !bad with
+    | Error _ -> () (* header damage: caller starts a fresh journal *)
+    | Ok r ->
+        List.iteri
+          (fun i e ->
+            if
+              i >= Array.length originals
+              || not (Journal.entry_equal e originals.(i))
+            then
+              Alcotest.failf
+                "case %d (seed %d): recovered entry %d is not the original \
+                 prefix"
+                case seed i)
+          r.Journal.entries
+    | exception e ->
+        Alcotest.failf "journal recovery raised %s on case %d (seed %d)"
+          (Printexc.to_string e) case seed
+  done
+
+(* Torn tails are the common real-world case (SIGKILL mid-append), so
+   cover every truncation point exhaustively, not just sampled ones. *)
+let test_journal_every_truncation_point () =
+  let header_len =
+    Bytes.length (Journal.encode_header ~manifest_id:journal_manifest_id)
+  in
+  (* record boundaries: the only truncation points that are clean *)
+  let boundaries, _ =
+    List.fold_left
+      (fun (acc, off) e ->
+        let off = off + Bytes.length (Journal.encode_entry e) in
+        (off :: acc, off))
+      ([ header_len ], header_len)
+      journal_entries
+  in
+  let n = Bytes.length journal_bytes in
+  for len = header_len to n - 1 do
+    match
+      Journal.decode_all ~manifest_id:journal_manifest_id
+        (Bytes.sub journal_bytes 0 len)
+    with
+    | Error e ->
+        Alcotest.failf "truncation at %d rejected the valid header: %s" len
+          (Whisper_error.to_string e)
+    | Ok r ->
+        let at_boundary = List.mem len boundaries in
+        check_bool
+          (Printf.sprintf "truncation at %d torn iff mid-record" len)
+          (not at_boundary) r.Journal.corrupt_tail;
+        check_bool
+          (Printf.sprintf "truncation at %d keeps a strict prefix" len)
+          true
+          (List.length r.Journal.entries < List.length journal_entries)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial (not random) inputs                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -448,6 +592,10 @@ let () =
               test_arena_replay_equals_closure_random_configs;
             test_case "corrupt cached arena regenerates" `Quick
               test_arena_cache_chaos_drop_and_regenerate;
+            test_case "journal recovery keeps only the original prefix" `Quick
+              test_journal_recovery_prefix_under_corruption;
+            test_case "journal recovery at every truncation point" `Quick
+              test_journal_every_truncation_point;
             test_case "malicious varint" `Quick test_malicious_varint;
             test_case "malicious count" `Quick test_malicious_count;
             test_case "fault injector deterministic" `Quick
