@@ -78,7 +78,13 @@ let ratio_fields = function
         "decide_speedup";
         "parallel_speedup";
       ]
-  | `Replay -> [ "replay_speedup"; "batch_cold_speedup"; "batch_delivery_speedup" ]
+  | `Replay ->
+      [
+        "replay_speedup";
+        "whisper_runtime_speedup";
+        "batch_cold_speedup";
+        "batch_delivery_speedup";
+      ]
 
 (* Workload-shape fields: a mismatch means the two runs did different
    work, which is a configuration error, not a perf regression — but
@@ -150,20 +156,28 @@ let check_bench kind ~baseline_path ~fresh_path ~tolerance ~floors =
   | `Search -> check_parallel_identical fresh_path fresh
   | `Replay -> (
       check_parallel_identical fresh_path fresh;
-      match
-        (num_field fresh "telemetry_on_ns_per_event",
-         num_field fresh "telemetry_off_ns_per_event")
-      with
-      | Some on_ns, Some off_ns ->
+      (* Prefer the paired overhead statistic (median of interleaved
+         per-round on-off differences) when the bench emits it: it
+         cancels round-local drift that the difference-of-medians still
+         absorbs.  Fall back to on - off for older artifacts. *)
+      let overhead =
+        match num_field fresh "telemetry_overhead_ns_per_event" with
+        | Some d -> Some d
+        | None -> (
+            match
+              (num_field fresh "telemetry_on_ns_per_event",
+               num_field fresh "telemetry_off_ns_per_event")
+            with
+            | Some on_ns, Some off_ns -> Some (on_ns -. off_ns)
+            | _ -> None)
+      in
+      match (overhead, num_field fresh "telemetry_off_ns_per_event") with
+      | Some d, Some off_ns ->
           let budget = Float.max (0.05 *. off_ns) 5.0 in
-          if on_ns -. off_ns > budget then
-            fail
-              "telemetry overhead too high: %.2f - %.2f = %.2f ns/event \
-               (budget %.2f)"
-              on_ns off_ns (on_ns -. off_ns) budget
-          else
-            note "telemetry overhead: %.2f ns/event (budget %.2f) ok"
-              (on_ns -. off_ns) budget
+          if d > budget then
+            fail "telemetry overhead too high: %.2f ns/event (budget %.2f)" d
+              budget
+          else note "telemetry overhead: %.2f ns/event (budget %.2f) ok" d budget
       | _ -> fail "%s is missing the telemetry overhead fields" fresh_path)
 
 (* ------------------------------------------------------------------ *)

@@ -108,7 +108,8 @@ let micro_tests () =
                 ~truth_of:(Whisper_core.Randomized.truth_of rnd))));
     Test.make ~name:"hint-buffer insert+probe"
       (Staged.stage (fun () ->
-           Whisper_core.Hint_buffer.insert buf ~branch_pc:(!counter land 63) hint;
+           Whisper_core.Hint_buffer.insert buf ~branch_pc:(!counter land 63)
+             (!counter land 0xFF);
            ignore
              (Whisper_core.Hint_buffer.probe buf ~branch_pc:(!counter land 63));
            incr counter));
@@ -565,17 +566,23 @@ let replay_bench () =
      sides and excluded; what differs is event delivery) *)
   (* the paper's technique set: every figure replays the same trace under
      all of these, which is exactly the sharing the arena amortizes *)
+  (* whisper variants carry explicit labels — Runner.technique_name
+     renders every config as "whisper", which made the three JSON rows
+     indistinguishable (and the third variant used to repeat the default
+     config verbatim; `Classic actually changes the formula family) *)
   let techniques =
     [
-      Runner.Baseline;
-      Runner.Ideal;
-      Runner.Mtage_sc;
-      Runner.Rombf 4;
-      Runner.Rombf 8;
-      Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192);
-      Runner.Whisper Whisper_core.Config.default;
-      Runner.Whisper { Whisper_core.Config.default with hint_buffer_size = 64 };
-      Runner.Whisper { Whisper_core.Config.default with ops = `Extended };
+      ("tage-scl", Runner.Baseline);
+      ("ideal", Runner.Ideal);
+      ("mtage-sc", Runner.Mtage_sc);
+      ("4b-rombf", Runner.Rombf 4);
+      ("8b-rombf", Runner.Rombf 8);
+      ("8KB-branchnet", Runner.Branchnet (Whisper_branchnet.Branchnet.Budget 8192));
+      ("whisper", Runner.Whisper Whisper_core.Config.default);
+      ( "whisper-hb64",
+        Runner.Whisper { Whisper_core.Config.default with hint_buffer_size = 64 } );
+      ( "whisper-classic",
+        Runner.Whisper { Whisper_core.Config.default with ops = `Classic } );
     ]
   in
   let ctx = Runner.create_ctx ~events:n_events ~baseline_kb:64 () in
@@ -584,7 +591,7 @@ let replay_bench () =
   in
   let tech_rows =
     List.map
-      (fun t ->
+      (fun (label, t) ->
         let closure_s, rc =
           time_once (fun () ->
               let exec = Runner.make_exec ctx app t ~train_inputs:[ 0 ] ~kb:64 in
@@ -603,22 +610,146 @@ let replay_bench () =
         if rc <> ra then
           failwith
             (Printf.sprintf "arena replay diverges from closure replay (%s)"
-               (Runner.technique_name t));
-        (Runner.technique_name t, 1e9 *. closure_s /. fe, 1e9 *. arena_s /. fe))
+               label);
+        (label, 1e9 *. closure_s /. fe, 1e9 *. arena_s /. fe))
       techniques
   in
+  (* --- compiled whisper runtime vs the retained interpretive oracle,
+     over the same plan, baseline and arena: the representation change
+     (CSR plan, truth-table bank, sentinel-int buffer, used-length
+     folds) must not change a single verdict or counter, and must be
+     severalfold faster.  Runtimes are created outside the timed region —
+     plan compilation is a once-per-run cost the replay amortizes.
+
+     The probe uses a deterministic saturating plan (eight brhints
+     hosted in every block, keyed by real branch PCs) and a cheap
+     bimodal baseline, so the figure isolates the hint-execution /
+     probe / hint-prediction machinery the compilation rewrites.  With
+     the profile-derived plan and a TAGE baseline, the predictor cost —
+     identical on both sides — dominates, and the plan's size varies
+     with profile depth, so the ratio would read ~1x in smoke mode no
+     matter how fast the runtime path got; a CI floor on that would be
+     meaningless. *)
+  let wh_config = Whisper_core.Config.default in
+  let wh_plan =
+    let open Whisper_core in
+    let n_blocks = Array.length cfg.Cfg.blocks in
+    let id_space =
+      Whisper_formula.Tree.space_size ~leaves:wh_config.Config.hash_bits
+    in
+    let hints_per_block = 8 in
+    let placements = ref [] in
+    for b = n_blocks - 1 downto 0 do
+      for j = hints_per_block - 1 downto 0 do
+        let target = (b + (j * 37)) mod n_blocks in
+        let bias =
+          (* mostly formula hints, with the other biases represented *)
+          match j with
+          | 5 -> Brhint.Always_taken
+          | 6 -> Brhint.Never_taken
+          | 7 -> Brhint.Dynamic
+          | _ -> Brhint.Formula
+        in
+        placements :=
+          {
+            Inject.branch_block = target;
+            host_block = b;
+            hint =
+              Brhint.make
+                ~len_idx:[| 1; 3; 5; 8 |].(j land 3)
+                ~formula_id:(((b * 131) + (j * 17)) mod id_space)
+                ~bias ~pc_offset:0;
+            branch_pc = cfg.Cfg.blocks.(target).Cfg.branch_pc;
+            cond_prob = 1.0;
+          }
+          :: !placements
+      done
+    done;
+    let by_host = Hashtbl.create (2 * n_blocks) in
+    List.iter
+      (fun (p : Inject.placement) ->
+        let existing =
+          Option.value ~default:[]
+            (Hashtbl.find_opt by_host p.Inject.host_block)
+        in
+        Hashtbl.replace by_host p.Inject.host_block (p :: existing))
+      !placements;
+    { Inject.placements = !placements; by_host; dropped = 0 }
+  in
+  let wh_baseline () = Whisper_bpu.Bimodal.make ~log_entries:12 in
+  (* tight exec loops over the arena, no timing model: the machine's
+     cache/BTB accounting is identical on both sides and would dilute
+     the ratio the CI floor guards.  (The Machine-level equality of the
+     compiled path is already asserted by the whisper tech_rows above
+     and the differential tests.) *)
+  let wh_reps = if smoke then 3 else 5 in
+  let best_compiled = ref infinity and best_reference = ref infinity in
+  let compiled_out = ref None and reference_out = ref None in
+  for _ = 1 to wh_reps do
+    let rt =
+      Whisper_core.Runtime.create wh_config ~baseline:(wh_baseline ())
+        ~plan:wh_plan
+    in
+    let s, correct =
+      time_once (fun () ->
+          let ok = ref 0 in
+          for i = 0 to n_events - 1 do
+            if Whisper_core.Runtime.exec_arena rt ~arena i then incr ok
+          done;
+          !ok)
+    in
+    best_compiled := Float.min !best_compiled s;
+    compiled_out :=
+      Some
+        ( correct,
+          Whisper_core.Runtime.hinted_predictions rt,
+          Whisper_core.Runtime.hinted_mispredictions rt,
+          Whisper_core.Runtime.baseline_predictions rt,
+          Whisper_core.Runtime.buffer_stats rt );
+    let rf =
+      Whisper_core.Runtime.Reference.create wh_config ~baseline:(wh_baseline ())
+        ~plan:wh_plan
+    in
+    let s, correct =
+      time_once (fun () ->
+          let ok = ref 0 in
+          for i = 0 to n_events - 1 do
+            if
+              Whisper_core.Runtime.Reference.exec_at rf
+                ~block:(Arena.block arena i) ~pc:(Arena.pc arena i)
+                ~taken:(Arena.taken arena i)
+            then incr ok
+          done;
+          !ok)
+    in
+    best_reference := Float.min !best_reference s;
+    reference_out :=
+      Some
+        ( correct,
+          Whisper_core.Runtime.Reference.hinted_predictions rf,
+          Whisper_core.Runtime.Reference.hinted_mispredictions rf,
+          Whisper_core.Runtime.Reference.baseline_predictions rf,
+          Whisper_core.Runtime.Reference.buffer_stats rf )
+  done;
+  if !compiled_out <> !reference_out then
+    failwith "compiled whisper runtime diverges from the interpretive oracle";
+  let whisper_compiled_ns = 1e9 *. !best_compiled /. fe in
+  let whisper_reference_ns = 1e9 *. !best_reference /. fe in
+  let whisper_runtime_speedup = whisper_reference_ns /. whisper_compiled_ns in
   (* --- end-to-end multi-technique batch: every technique over the same
      (app, input), which is exactly the sharing the arena exists for.
      Cold = arena built in-run; warm = arena served from the persistent
      cache populated by a prior invocation. *)
-  let sims = List.map (fun t -> Runner.sim app t) techniques in
+  let sims = List.map (fun (_, t) -> Runner.sim app t) techniques in
   let batch ?cache_dir ~replay ~jobs () =
     let ctx =
       Runner.create_ctx ~events:n_events ~baseline_kb:64 ~jobs ~replay
         ?cache_dir ()
     in
     let wall, () = time_once (fun () -> Runner.run_batch ctx sims) in
-    (wall, List.map (fun t -> Runner.run ctx app t) techniques, Runner.stats ctx)
+    ( wall,
+      List.map (fun (_, t) -> Runner.run ctx app t) techniques,
+      Runner.stats ctx )
   in
   let closure_s, closure_results, _ = batch ~replay:`Closure ~jobs:1 () in
   let closure4_s, closure4_results, _ = batch ~replay:`Closure ~jobs:4 () in
@@ -709,30 +840,64 @@ let replay_bench () =
          ~predict:(fun (_ : int) -> true)
          ())
   in
-  (* interleaved best-of-3 per side: the probe is memory-bound, so a
-     single window jitters (and the machine drifts) by several percent —
-     far more than the per-run flush.  Alternating the sides exposes
-     both to the same drift; the min discards the jitter. *)
+  (* the probe is memory-bound, so a single window jitters (and the
+     machine drifts thermally) by several percent — far more than the
+     per-run flush.  Three defenses, each earned by a bad measurement:
+     (1) the probe gets a >= 0.25 s window even in smoke mode, where the
+     general min_s is 0.05 s — short windows alias scheduler noise into
+     whole-percent swings; (2) the sides are interleaved and the gated
+     statistic is the median of the per-round (on - off) differences,
+     which cancels round-local drift that per-side medians still absorb
+     (a committed full run once recorded -12.9% "overhead" from exactly
+     that drift); (3) the displayed percentage is clamped at zero — a
+     negative difference only means the drift happened to favour the
+     enabled side, not that recording telemetry speeds the loop up. *)
   let measure side_enabled =
     Whisper_util.Telemetry.set_enabled side_enabled;
-    time_ns ~min_s telemetry_probe /. fe
+    time_ns ~min_s:(Float.max min_s 0.25) telemetry_probe /. fe
   in
-  let telemetry_on_ns = ref infinity and telemetry_off_ns = ref infinity in
-  for _ = 1 to 3 do
-    telemetry_off_ns := Float.min !telemetry_off_ns (measure false);
-    telemetry_on_ns := Float.min !telemetry_on_ns (measure true)
+  (* the true overhead is ~0 (flush-once amortizes to sub-0.01 ns/event),
+     so the measurement is noise around zero with sigma of a few
+     ns/event on a shared box; 15 rounds put the paired median's sigma
+     comfortably under the gate's max(5%, 5 ns) budget *)
+  let telemetry_rounds = 15 in
+  let on_samples = Array.make telemetry_rounds 0.0 in
+  let off_samples = Array.make telemetry_rounds 0.0 in
+  let diff_samples = Array.make telemetry_rounds 0.0 in
+  for i = 0 to telemetry_rounds - 1 do
+    (* alternate which side runs first: a systematic first/second-window
+       bias (cache warmth, GC debt left by the previous window) would
+       otherwise load entirely onto one side of every paired difference *)
+    if i land 1 = 0 then begin
+      off_samples.(i) <- measure false;
+      on_samples.(i) <- measure true
+    end
+    else begin
+      on_samples.(i) <- measure true;
+      off_samples.(i) <- measure false
+    end;
+    diff_samples.(i) <- on_samples.(i) -. off_samples.(i)
   done;
-  let telemetry_on_ns = !telemetry_on_ns
-  and telemetry_off_ns = !telemetry_off_ns in
   Whisper_util.Telemetry.set_enabled true;
+  let median a =
+    let b = Array.copy a in
+    Array.sort compare b;
+    b.(Array.length b / 2)
+  in
+  let telemetry_on_ns = median on_samples in
+  let telemetry_off_ns = median off_samples in
+  let telemetry_overhead_ns = median diff_samples in
   let telemetry_overhead_pct =
-    100.0 *. (telemetry_on_ns -. telemetry_off_ns) /. telemetry_off_ns
+    Float.max 0.0 (100.0 *. telemetry_overhead_ns /. telemetry_off_ns)
   in
   List.iter
     (fun (name, c_ns, a_ns) ->
       Printf.printf "  sim %-12s %8.1f -> %7.1f ns/event  (%.1fx)\n" name c_ns
         a_ns (c_ns /. a_ns))
     tech_rows;
+  Printf.printf
+    "  whisper runtime     %8.1f -> %7.1f ns/event  (%.1fx, oracle -> compiled)\n"
+    whisper_reference_ns whisper_compiled_ns whisper_runtime_speedup;
   Printf.printf "  event delivery     %8.1f -> %7.1f ns/event  (build %.1f ns/event)\n"
     closure_gen_ns arena_replay_ns arena_build_ns;
   Printf.printf
@@ -746,8 +911,10 @@ let replay_bench () =
     (train_passes + test_passes)
     closure_delivery_s arena_delivery_s delivery_speedup;
   Printf.printf
-    "  telemetry overhead  %8.1f -> %7.1f ns/event  (%+.1f%%)\n%!"
-    telemetry_off_ns telemetry_on_ns telemetry_overhead_pct;
+    "  telemetry overhead  %8.1f -> %7.1f ns/event  (paired %+.2f ns, \
+     %+.1f%%)\n%!"
+    telemetry_off_ns telemetry_on_ns telemetry_overhead_ns
+    telemetry_overhead_pct;
   let out =
     Option.value ~default:"BENCH_replay.json"
       (Sys.getenv_opt "WHISPER_REPLAY_OUT")
@@ -762,6 +929,9 @@ let replay_bench () =
   "arena_build_ns_per_event": %.2f,
   "arena_replay_ns_per_event": %.2f,
   "replay_speedup": %.2f,
+  "whisper_arena_ns_per_event": %.2f,
+  "whisper_reference_arena_ns_per_event": %.2f,
+  "whisper_runtime_speedup": %.2f,
   "technique_sims": [
 %s
   ],
@@ -784,6 +954,7 @@ let replay_bench () =
   "arena_cache_load_ms": %.2f,
   "telemetry_on_ns_per_event": %.2f,
   "telemetry_off_ns_per_event": %.2f,
+  "telemetry_overhead_ns_per_event": %.2f,
   "telemetry_overhead_pct": %.2f,
   "parallel_jobs": 4,
   "parallel_identical": true
@@ -791,6 +962,7 @@ let replay_bench () =
 |}
     app_name n_events smoke closure_gen_ns arena_build_ns arena_replay_ns
     (closure_gen_ns /. arena_replay_ns)
+    whisper_compiled_ns whisper_reference_ns whisper_runtime_speedup
     (String.concat ",\n"
        (List.map
           (fun (name, c_ns, a_ns) ->
@@ -806,7 +978,7 @@ let replay_bench () =
     closure_delivery_s arena_delivery_s delivery_speedup
     cold_stats.Runner.arena_builds warm_stats.Runner.arena_cache_hits
     (1e3 *. store_s) (1e3 *. load_s) telemetry_on_ns telemetry_off_ns
-    telemetry_overhead_pct;
+    telemetry_overhead_ns telemetry_overhead_pct;
   close_out oc;
   Printf.printf "  wrote %s\n%!" out;
   ignore !sink

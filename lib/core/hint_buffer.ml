@@ -1,31 +1,36 @@
 open Whisper_util
 
 type t = {
-  lru : Brhint.t Lru.t;
+  store : Intlru.t;
   mutable n_insert : int;
   mutable n_hit : int;
   mutable n_miss : int;
 }
 
-let create ~size = { lru = Lru.create ~capacity:size; n_insert = 0; n_hit = 0; n_miss = 0 }
+let miss = Intlru.miss
 
-let size t = Lru.capacity t.lru
-let length t = Lru.length t.lru
+let create ~size =
+  { store = Intlru.create ~capacity:size; n_insert = 0; n_hit = 0; n_miss = 0 }
 
-let insert t ~branch_pc hint =
+let size t = Intlru.capacity t.store
+let length t = Intlru.length t.store
+
+let insert t ~branch_pc payload =
   t.n_insert <- t.n_insert + 1;
-  ignore (Lru.add t.lru branch_pc hint)
+  Intlru.insert t.store branch_pc payload
 
 let probe t ~branch_pc =
-  match Lru.peek t.lru branch_pc with
-  | Some h ->
-      t.n_hit <- t.n_hit + 1;
-      Some h
-  | None ->
-      t.n_miss <- t.n_miss + 1;
-      None
+  let p = Intlru.probe t.store branch_pc in
+  if p >= 0 then t.n_hit <- t.n_hit + 1 else t.n_miss <- t.n_miss + 1;
+  p
 
-let clear t = Lru.clear t.lru
+let insert_hint t ~branch_pc hint = insert t ~branch_pc (Brhint.encode hint)
+
+let probe_hint t ~branch_pc =
+  let p = probe t ~branch_pc in
+  if p < 0 then None else Some (Brhint.decode p)
+
+let clear t = Intlru.clear t.store
 let insertions t = t.n_insert
 let hits t = t.n_hit
 let misses t = t.n_miss

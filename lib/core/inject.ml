@@ -108,6 +108,52 @@ let plan ?(window = 64) ?(threshold = 0.9) ?(trace_events = default_trace_events
 let hints_at t ~block =
   Option.value ~default:[] (Hashtbl.find_opt t.by_host block)
 
+(* CSR-style packed view of a plan, for the compiled runtime: the
+   brhints hosted by block [b] are entries [index.(b) .. index.(b+1)-1],
+   so the per-event "which hints execute here" lookup is two array reads
+   instead of a Hashtbl probe plus a list walk.  Entry order within a
+   block matches [hints_at] exactly (the compiled and interpretive
+   runtimes must insert into the hint buffer in the same order, or their
+   eviction sequences — and hence their results — would diverge). *)
+module Packed = struct
+  type plan = t
+
+  type t = {
+    index : int array;
+    branch_pc : int array;
+    hint : int array;
+    max_host : int;
+  }
+
+  let of_plan (p : plan) =
+    let max_host =
+      List.fold_left (fun m pl -> max m pl.host_block) (-1) p.placements
+    in
+    let n = List.length p.placements in
+    let index = Array.make (max_host + 2) 0 in
+    let branch_pc = Array.make n 0 in
+    let hint = Array.make n 0 in
+    let cursor = ref 0 in
+    for b = 0 to max_host do
+      index.(b) <- !cursor;
+      List.iter
+        (fun (pl : placement) ->
+          branch_pc.(!cursor) <- pl.branch_pc;
+          hint.(!cursor) <- Brhint.encode pl.hint;
+          incr cursor)
+        (hints_at p ~block:b)
+    done;
+    index.(max_host + 1) <- !cursor;
+    assert (!cursor = n);
+    { index; branch_pc; hint; max_host }
+
+  let n_entries t = Array.length t.branch_pc
+  let max_host t = t.max_host
+  let index t = t.index
+  let branch_pc t = t.branch_pc
+  let hint t = t.hint
+end
+
 let static_overhead_pct t (cfg : Cfg.t) =
   let static_instrs = cfg.footprint / Cfg.instr_bytes in
   Whisper_util.Stats.pct

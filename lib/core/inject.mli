@@ -53,6 +53,35 @@ val hints_at : t -> block:int -> placement list
 (** Hints whose brhint instructions live in [block], i.e. those executed
     when the block executes. *)
 
+(** CSR-style packed view of a plan: one flat [int array] of encoded
+    brhints plus a per-host-block offset index, so the per-event hint
+    lookup in the compiled {!Runtime} is two array reads.  Entry order
+    within a block matches {!hints_at} exactly — the compiled and
+    interpretive runtimes must feed the hint buffer identically. *)
+module Packed : sig
+  type plan := t
+  type t
+
+  val of_plan : plan -> t
+
+  val n_entries : t -> int
+  (** Total placements (one entry per injected brhint). *)
+
+  val max_host : t -> int
+  (** Largest host block id, or [-1] for an empty plan.  Blocks beyond
+      it host nothing — callers guard with one compare. *)
+
+  val index : t -> int array
+  (** Length [max_host + 2]; block [b]'s entries span
+      [index.(b) .. index.(b+1) - 1]. *)
+
+  val branch_pc : t -> int array
+  (** Covered-branch PC per entry (the hint buffer key). *)
+
+  val hint : t -> int array
+  (** {!Brhint.encode}d payload per entry. *)
+end
+
 val static_overhead_pct : t -> Whisper_trace.Cfg.t -> float
 (** Injected instructions as % of static instructions (Fig. 19). *)
 

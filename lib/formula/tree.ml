@@ -92,6 +92,9 @@ let packed_truth_table t =
 let eval_packed w bits =
   (Array.unsafe_get w (bits lsr 5) lsr (bits land 31)) land 1 = 1
 
+let eval_packed_at w ~off bits =
+  (Array.unsafe_get w (off + (bits lsr 5)) lsr (bits land 31)) land 1 = 1
+
 let pack_truth_table table =
   let size = Bytes.length table in
   let w = Array.make (packed_words ~size) 0 in

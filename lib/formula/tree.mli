@@ -84,6 +84,12 @@ val eval_packed : int array -> int -> bool
 (** [eval_packed w bits] tests bit [bits] of a packed truth table.  The
     input must be within the table's range (unchecked, like {!eval_tt}). *)
 
+val eval_packed_at : int array -> off:int -> int -> bool
+(** [eval_packed_at bank ~off bits] is {!eval_packed} on the table whose
+    words start at [bank.(off)] — the lookup used by the compiled
+    Whisper runtime, whose truth tables for a whole injection plan are
+    concatenated into one dense bank array. *)
+
 val pack_truth_table : Bytes.t -> int array
 (** Pack an existing {!truth_table} byte table into the bitset form. *)
 

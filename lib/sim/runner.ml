@@ -395,9 +395,7 @@ let make_exec_arena ctx app technique ~train_inputs ~kb ~arena:a =
           ~taken:(Arena.taken a i)
   | Whisper config ->
       let rt = whisper_runtime ctx app ~train_inputs ~kb config in
-      fun i ->
-        Whisper_core.Runtime.exec_at rt ~block:(Arena.block a i)
-          ~pc:(Arena.pc a i) ~taken:(Arena.taken a i)
+      Whisper_core.Runtime.exec_arena rt ~arena:a
 
 let run_key ctx app technique ~train_inputs ~test_input ~kb =
   Printf.sprintf "%s/%s/%s/%d/%d/%d" app.Workloads.name

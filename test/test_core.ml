@@ -327,29 +327,59 @@ let some_hint =
 let test_hint_buffer_basics () =
   let b = Hint_buffer.create ~size:2 in
   check_int "size" 2 (Hint_buffer.size b);
-  Hint_buffer.insert b ~branch_pc:100 some_hint;
-  check_bool "hit" true (Hint_buffer.probe b ~branch_pc:100 <> None);
-  check_bool "miss" true (Hint_buffer.probe b ~branch_pc:200 = None);
+  Hint_buffer.insert b ~branch_pc:100 7;
+  check_int "hit payload" 7 (Hint_buffer.probe b ~branch_pc:100);
+  check_int "miss sentinel" Hint_buffer.miss (Hint_buffer.probe b ~branch_pc:200);
+  check_bool "miss is negative" true (Hint_buffer.miss < 0);
   check_int "hits" 1 (Hint_buffer.hits b);
   check_int "misses" 1 (Hint_buffer.misses b);
-  check_int "insertions" 1 (Hint_buffer.insertions b)
+  check_int "insertions" 1 (Hint_buffer.insertions b);
+  Alcotest.check_raises "negative payload rejected"
+    (Invalid_argument "Intlru.insert: negative payload") (fun () ->
+      Hint_buffer.insert b ~branch_pc:5 (-3))
+
+let test_hint_buffer_hint_roundtrip () =
+  let b = Hint_buffer.create ~size:4 in
+  Hint_buffer.insert_hint b ~branch_pc:0x4010 some_hint;
+  (match Hint_buffer.probe_hint b ~branch_pc:0x4010 with
+  | Some h -> check_bool "decoded hint" true (h = some_hint)
+  | None -> Alcotest.fail "expected a hit");
+  check_bool "decode miss" true (Hint_buffer.probe_hint b ~branch_pc:1 = None)
 
 let test_hint_buffer_eviction () =
   let b = Hint_buffer.create ~size:2 in
-  Hint_buffer.insert b ~branch_pc:1 some_hint;
-  Hint_buffer.insert b ~branch_pc:2 some_hint;
-  Hint_buffer.insert b ~branch_pc:3 some_hint;
-  check_bool "oldest evicted" true (Hint_buffer.probe b ~branch_pc:1 = None);
-  check_bool "newest present" true (Hint_buffer.probe b ~branch_pc:3 <> None);
+  Hint_buffer.insert b ~branch_pc:1 10;
+  Hint_buffer.insert b ~branch_pc:2 20;
+  Hint_buffer.insert b ~branch_pc:3 30;
+  check_int "oldest evicted" Hint_buffer.miss (Hint_buffer.probe b ~branch_pc:1);
+  check_int "newest present" 30 (Hint_buffer.probe b ~branch_pc:3);
   check_int "len" 2 (Hint_buffer.length b)
 
+(* Eviction-order pinning: the buffer is ordered by hint execution.
+   Re-inserting (re-executing the brhint) refreshes an entry's position
+   and updates its payload... *)
+let test_hint_buffer_reinsert_refreshes () =
+  let b = Hint_buffer.create ~size:2 in
+  Hint_buffer.insert b ~branch_pc:1 10;
+  Hint_buffer.insert b ~branch_pc:2 20;
+  Hint_buffer.insert b ~branch_pc:1 11;
+  (* execution order is now [2; 1], so adding a third key evicts 2 *)
+  Hint_buffer.insert b ~branch_pc:3 30;
+  check_int "refreshed entry survives" 11 (Hint_buffer.probe b ~branch_pc:1);
+  check_int "stale entry evicted" Hint_buffer.miss
+    (Hint_buffer.probe b ~branch_pc:2)
+
+(* ...while probing (predicting the covered branch) never does. *)
 let test_hint_buffer_probe_does_not_refresh () =
   let b = Hint_buffer.create ~size:2 in
-  Hint_buffer.insert b ~branch_pc:1 some_hint;
-  Hint_buffer.insert b ~branch_pc:2 some_hint;
-  ignore (Hint_buffer.probe b ~branch_pc:1);
-  Hint_buffer.insert b ~branch_pc:3 some_hint;
-  check_bool "probe is not a use" true (Hint_buffer.probe b ~branch_pc:1 = None)
+  Hint_buffer.insert b ~branch_pc:1 10;
+  Hint_buffer.insert b ~branch_pc:2 20;
+  check_int "probe sees 1" 10 (Hint_buffer.probe b ~branch_pc:1);
+  Hint_buffer.insert b ~branch_pc:3 30;
+  check_int "probe is not a use" Hint_buffer.miss
+    (Hint_buffer.probe b ~branch_pc:1);
+  check_int "unprobed newer entry survives" 20
+    (Hint_buffer.probe b ~branch_pc:2)
 
 (* ------------------------------------------------------------------ *)
 (* Inject + Runtime, end to end on a tiny app                         *)
@@ -602,6 +632,92 @@ let test_runtime_hint_accuracy_on_deterministic () =
     (float_of_int wrong /. float_of_int hinted < 0.30)
 
 (* ------------------------------------------------------------------ *)
+(* Compiled runtime vs interpretive oracle                             *)
+(* ------------------------------------------------------------------ *)
+
+let whisper_plan_for ~config app ~profile_events =
+  let cfg, prof = profile_of app ~events:profile_events in
+  let analysis = Analyze.run ~config prof in
+  let plan =
+    Inject.plan config cfg
+      ~source:(App_model.source (App_model.create ~cfg ~config:app ~input:0 ()))
+      ~hints:(Analyze.to_inject_hints analysis cfg)
+  in
+  (cfg, plan)
+
+(* The compiled runtime must agree with the retained interpretive oracle
+   event-for-event (verdicts) and counter-for-counter (hinted / wrong /
+   baseline / buffer statistics) — the compilation is a representation
+   change, not a policy change.  Returns the hinted count so callers can
+   assert the comparison actually exercised the hint path. *)
+let check_compiled_matches_reference ?(events = 25_000) ~config app =
+  let cfg, plan = whisper_plan_for ~config app ~profile_events:20_000 in
+  let arena = Arena.build ~events (App_model.create ~cfg ~config:app ~input:1 ()) in
+  let rt =
+    Runtime.create config
+      ~baseline:(Whisper_bpu.Bimodal.make ~log_entries:10)
+      ~plan
+  in
+  let rf =
+    Runtime.Reference.create config
+      ~baseline:(Whisper_bpu.Bimodal.make ~log_entries:10)
+      ~plan
+  in
+  for i = 0 to events - 1 do
+    let c = Runtime.exec_arena rt ~arena i in
+    let r = Runtime.Reference.exec rf (Arena.event arena i) in
+    if c <> r then
+      Alcotest.failf "%s: compiled diverges from oracle at event %d"
+        app.Workloads.name i
+  done;
+  let name = app.Workloads.name in
+  check_int (name ^ " hinted")
+    (Runtime.Reference.hinted_predictions rf)
+    (Runtime.hinted_predictions rt);
+  check_int (name ^ " hinted wrong")
+    (Runtime.Reference.hinted_mispredictions rf)
+    (Runtime.hinted_mispredictions rt);
+  check_int (name ^ " baseline")
+    (Runtime.Reference.baseline_predictions rf)
+    (Runtime.baseline_predictions rt);
+  check_bool (name ^ " buffer stats") true
+    (Runtime.buffer_stats rt = Runtime.Reference.buffer_stats rf);
+  check_int (name ^ " events covered") events
+    (Runtime.hinted_predictions rt + Runtime.baseline_predictions rt);
+  Runtime.hinted_predictions rt
+
+let test_compiled_matches_reference_catalog () =
+  let hinted =
+    Array.fold_left
+      (fun acc app ->
+        acc + check_compiled_matches_reference ~config:Config.default app)
+      0 Workloads.datacenter
+  in
+  check_bool "catalog comparison exercised the hint path" true (hinted > 0)
+
+let test_compiled_matches_reference_variants () =
+  (* seeds and config corners: tiny buffers stress eviction-order
+     agreement, `Classic restricts the formula family, and a reseeded
+     app reshuffles the CFG and every planted behaviour *)
+  let cases =
+    [
+      (tiny_app (), Config.default);
+      (tiny_app (), { Config.default with hint_buffer_size = 2 });
+      (tiny_app (), { Config.default with hint_buffer_size = 1 });
+      ({ (tiny_app ()) with seed = 1234 }, Config.default);
+      ({ (tiny_app ()) with seed = 90210 },
+       { Config.default with ops = `Classic; hint_buffer_size = 8 });
+    ]
+  in
+  let hinted =
+    List.fold_left
+      (fun acc (app, config) ->
+        acc + check_compiled_matches_reference ~events:20_000 ~config app)
+      0 cases
+  in
+  check_bool "variant comparison exercised the hint path" true (hinted > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Analyze distributions                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -746,7 +862,10 @@ let () =
         Alcotest.
           [
             test_case "basics" `Quick test_hint_buffer_basics;
+            test_case "hint roundtrip" `Quick test_hint_buffer_hint_roundtrip;
             test_case "eviction" `Quick test_hint_buffer_eviction;
+            test_case "reinsert refreshes" `Quick
+              test_hint_buffer_reinsert_refreshes;
             test_case "probe no refresh" `Quick test_hint_buffer_probe_does_not_refresh;
           ] );
       ( "inject_runtime",
@@ -755,6 +874,10 @@ let () =
             test_case "plan validity" `Quick test_inject_plan_validity;
             test_case "beats weak baseline" `Quick test_runtime_improves_on_baseline;
             test_case "hint accuracy" `Quick test_runtime_hint_accuracy_on_deterministic;
+            test_case "compiled == oracle (catalog)" `Quick
+              test_compiled_matches_reference_catalog;
+            test_case "compiled == oracle (seeds+configs)" `Quick
+              test_compiled_matches_reference_variants;
           ] );
       ( "analyze",
         Alcotest.

@@ -384,6 +384,108 @@ let test_arena_replay_equals_closure_random_configs () =
     | Error e -> Alcotest.failf "round trip rejected: %s" (Whisper_error.to_string e)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-runtime equivalence on adversarial plans                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled Whisper runtime must agree with the interpretive oracle
+   on arbitrary hand-built plans — not just the well-formed ones
+   Inject.plan emits: hints keyed by PCs no branch ever has, several
+   hints per host block, every bias, formula ids across the whole id
+   space, tiny hint buffers that force constant eviction, and non-default
+   hash widths / length series. *)
+let test_compiled_runtime_equals_oracle_random_plans () =
+  let open Whisper_core in
+  let rng = Rng.create (seed lxor 0xC0417) in
+  let plan_cases = max 10 (cases / 100) in
+  for case = 1 to plan_cases do
+    let wl =
+      {
+        (Option.get (Workloads.by_name "cassandra")) with
+        Workloads.name = Printf.sprintf "fuzz-rtplan-%d" case;
+        functions = 2 + Rng.int rng 6;
+        seed = Rng.int rng 10_000;
+      }
+    in
+    let cfg = Workloads.build_cfg wl in
+    let config =
+      {
+        Config.default with
+        hash_bits = (if Rng.bool rng then 8 else 4);
+        n_lengths = (if Rng.bool rng then 16 else 4);
+        hint_buffer_size = [| 1; 2; 4; 32 |].(Rng.int rng 4);
+      }
+    in
+    let n_blocks = Array.length cfg.Cfg.blocks in
+    let id_space =
+      Whisper_formula.Tree.space_size ~leaves:config.Config.hash_bits
+    in
+    let placements =
+      List.init
+        (1 + Rng.int rng 24)
+        (fun _ ->
+          let branch_block = Rng.int rng n_blocks in
+          let branch_pc =
+            (* mostly PCs branches actually have (so probes hit), some
+               junk keys no event ever probes *)
+            if Rng.int rng 4 = 0 then 0x9000_0000 + Rng.int rng 4096
+            else cfg.Cfg.blocks.(branch_block).Cfg.branch_pc
+          in
+          {
+            Inject.branch_block;
+            host_block = Rng.int rng n_blocks;
+            hint =
+              Brhint.make
+                ~len_idx:(Rng.int rng config.Config.n_lengths)
+                ~formula_id:(Rng.int rng id_space)
+                ~bias:(Brhint.bias_of_code (Rng.int rng 4))
+                ~pc_offset:(Rng.int rng 4096);
+            branch_pc;
+            cond_prob = 1.0;
+          })
+    in
+    let by_host = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Inject.placement) ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt by_host p.Inject.host_block)
+        in
+        Hashtbl.replace by_host p.Inject.host_block (p :: existing))
+      placements;
+    let plan = { Inject.placements; by_host; dropped = 0 } in
+    let events = 1 + Rng.int rng 4_000 in
+    let input = Rng.int rng 3 in
+    let arena = Arena.build ~events (App_model.create ~cfg ~config:wl ~input ()) in
+    let rt =
+      Runtime.create config
+        ~baseline:(Whisper_bpu.Bimodal.make ~log_entries:8)
+        ~plan
+    in
+    let rf =
+      Runtime.Reference.create config
+        ~baseline:(Whisper_bpu.Bimodal.make ~log_entries:8)
+        ~plan
+    in
+    for i = 0 to events - 1 do
+      let c = Runtime.exec_arena rt ~arena i in
+      let r = Runtime.Reference.exec rf (Arena.event arena i) in
+      if c <> r then
+        Alcotest.failf "plan case %d: verdict diverges at event %d (seed %d)"
+          case i seed
+    done;
+    check_int "hinted" (Runtime.Reference.hinted_predictions rf)
+      (Runtime.hinted_predictions rt);
+    check_int "hinted wrong"
+      (Runtime.Reference.hinted_mispredictions rf)
+      (Runtime.hinted_mispredictions rt);
+    check_int "baseline"
+      (Runtime.Reference.baseline_predictions rf)
+      (Runtime.baseline_predictions rt);
+    if Runtime.buffer_stats rt <> Runtime.Reference.buffer_stats rf then
+      Alcotest.failf "plan case %d: buffer statistics diverge (seed %d)" case
+        seed
+  done
+
 let test_arena_cache_chaos_drop_and_regenerate () =
   (* a cached arena corrupted in flight (rate-1.0 injector on the read
      path) is dropped and counted, and the decode-once build is
@@ -588,6 +690,8 @@ let () =
               test_fuzz_deterministic;
             test_case "packed scorer equals naive scorer" `Quick
               test_scorer_equivalence;
+            test_case "compiled runtime equals oracle on random plans" `Quick
+              test_compiled_runtime_equals_oracle_random_plans;
             test_case "arena replay equals closure replay" `Quick
               test_arena_replay_equals_closure_random_configs;
             test_case "corrupt cached arena regenerates" `Quick

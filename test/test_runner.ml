@@ -342,6 +342,26 @@ let test_run_batch_dedups () =
     ];
   check_int "duplicate work items simulate once" 1 (Runner.stats ctx).Runner.sims
 
+let test_run_batch_whisper_parallel_identity () =
+  (* the compiled whisper runtime through run_batch must be
+     byte-identical across job counts — the runtime is per-run state, so
+     domain scheduling must not be able to reorder anything it observes *)
+  let a = app "finagle-http" in
+  let techniques =
+    [
+      Runner.Whisper Whisper_core.Config.default;
+      Runner.Whisper
+        { Whisper_core.Config.default with hint_buffer_size = 64 };
+    ]
+  in
+  let results ~jobs =
+    let ctx = Runner.create_ctx ~events:det_events ~jobs () in
+    Runner.run_batch ctx (List.map (fun t -> Runner.sim a t) techniques);
+    List.map (fun t -> Runner.run ctx a t) techniques
+  in
+  check_bool "whisper batch results byte-identical for j1 and j4" true
+    (results ~jobs:1 = results ~jobs:4)
+
 let test_warm_cache_rerun () =
   let dir = "_test_cache_warm" in
   let cold = Runner.create_ctx ~events:det_events ~jobs:2 ~cache_dir:dir () in
@@ -607,6 +627,8 @@ let () =
           [
             test_case "parallel determinism" `Quick test_parallel_determinism;
             test_case "run_batch dedups" `Quick test_run_batch_dedups;
+            test_case "whisper batch identical across job counts" `Quick
+              test_run_batch_whisper_parallel_identity;
             test_case "warm cache rerun" `Quick test_warm_cache_rerun;
             test_case "report timing line" `Quick test_report_timing_line;
           ] );
