@@ -604,9 +604,11 @@ let replay_bench () =
                 Runner.make_exec_arena ctx app t ~train_inputs:[ 0 ] ~kb:64
                   ~arena
               in
-              Whisper_pipeline.Machine.run_arena ~events:n_events ~arena
-                ~predict:exec ())
+              Whisper_pipeline.Machine.run_arena_exec ~events:n_events ~arena
+                ~exec ())
         in
+        (* the in-bench differential-oracle assert: the compiled arena
+           path must reproduce the closure path's result byte for byte *)
         if rc <> ra then
           failwith
             (Printf.sprintf "arena replay diverges from closure replay (%s)"
@@ -935,7 +937,7 @@ let replay_bench () =
   "technique_sims": [
 %s
   ],
-  "batch_techniques": %d,
+%s  "batch_techniques": %d,
   "batch_closure_s": %.3f,
   "batch_arena_cold_s": %.3f,
   "batch_arena_warm_s": %.3f,
@@ -957,7 +959,8 @@ let replay_bench () =
   "telemetry_overhead_ns_per_event": %.2f,
   "telemetry_overhead_pct": %.2f,
   "parallel_jobs": 4,
-  "parallel_identical": true
+  "parallel_identical": true,
+  "pipeline_identical": true
 }
 |}
     app_name n_events smoke closure_gen_ns arena_build_ns arena_replay_ns
@@ -970,6 +973,19 @@ let replay_bench () =
               "    { \"technique\": %S, \"closure_ns_per_event\": %.2f, \
                \"arena_ns_per_event\": %.2f, \"speedup\": %.2f }"
               name c_ns a_ns (c_ns /. a_ns))
+          tech_rows))
+    (* flat duplicates of the per-technique rows, addressable by
+       check_regression's top-level numeric field lookup (ratio bands and
+       --floor gates can't reach into the technique_sims array) *)
+    (String.concat ""
+       (List.map
+          (fun (name, c_ns, a_ns) ->
+            let key = String.map (fun c -> if c = '-' then '_' else c) name in
+            Printf.sprintf
+              "  \"sim_%s_closure_ns_per_event\": %.2f,\n\
+              \  \"sim_%s_arena_ns_per_event\": %.2f,\n\
+              \  \"sim_%s_speedup\": %.2f,\n"
+              key c_ns key a_ns key (c_ns /. a_ns))
           tech_rows))
     (List.length techniques)
     closure_s cold_s warm_s cold_speedup warm_speedup closure4_s par_s

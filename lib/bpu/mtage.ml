@@ -95,3 +95,23 @@ let predictor ?(n_lengths = 9) ?(max_len = 1024) () =
     storage_bits = 0;
     is_oracle = false;
   }
+
+let exec t ~pc ~taken =
+  let pred = predict t ~pc in
+  train t ~pc ~taken;
+  pred = taken
+
+let compiled ?(n_lengths = 9) ?(max_len = 1024) () =
+  {
+    Predictor.Compiled.name = "mtage-sc-unlimited";
+    storage_bits = 0;
+    fill =
+      (fun ~arena ~n ~verdicts ->
+        let t = create ~n_lengths ~max_len in
+        for i = 0 to n - 1 do
+          let pc = Whisper_trace.Arena.pc arena i in
+          let taken = Whisper_trace.Arena.taken arena i in
+          Bytes.unsafe_set verdicts i
+            (if exec t ~pc ~taken then '\001' else '\000')
+        done);
+  }

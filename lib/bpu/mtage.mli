@@ -12,3 +12,7 @@
 val predictor : ?n_lengths:int -> ?max_len:int -> unit -> Predictor.t
 (** Defaults: 9 lengths, 8–1024. Reported [storage_bits] is 0 (unlimited
     category). *)
+
+val compiled : ?n_lengths:int -> ?max_len:int -> unit -> Predictor.Compiled.t
+(** Staged arena kernel (fresh instance per [fill] call); see
+    {!Predictor.Compiled} for the contract. *)

@@ -7,6 +7,15 @@ type t = {
   is_oracle : bool;
 }
 
+module Compiled = struct
+  type t = {
+    name : string;
+    storage_bits : int;
+    fill :
+      arena:Whisper_trace.Arena.t -> n:int -> verdicts:Bytes.t -> unit;
+  }
+end
+
 let always_taken () =
   {
     name = "always-taken";

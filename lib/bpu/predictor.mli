@@ -22,6 +22,32 @@ type t = {
       (** oracle predictors are always counted correct by runners *)
 }
 
+(** Staged arena kernels: the compiled counterpart of {!t} for the
+    replay fast path.  Where {!t} is three closure-record fields invoked
+    per event, a [Compiled.t] is handed to the machine once per run
+    ({!Whisper_pipeline.Machine.run_arena_exec} with [Compiled fill]) and
+    runs the whole predict→train protocol in its own monomorphic loop
+    over the packed arena — direct known calls, no closure records, no
+    per-event allocation.
+
+    Contract: [fill ~arena ~n ~verdicts] must create a fresh predictor
+    instance (state identical to the closure path's), walk events
+    [0..n-1] in order performing predict-then-train for each, and write
+    [verdicts.[i] = '\001'] iff event [i]'s direction was predicted
+    correctly (['\000'] otherwise).  [verdicts] is caller-owned scratch
+    of at least [n] bytes; bytes beyond [n] must be left untouched.
+    The closure path survives as the differential oracle: a compiled
+    kernel must produce byte-identical [Machine.result]s, enforced by
+    catalog tests, fuzz, and an in-bench assert. *)
+module Compiled : sig
+  type t = {
+    name : string;
+    storage_bits : int;
+    fill :
+      arena:Whisper_trace.Arena.t -> n:int -> verdicts:Bytes.t -> unit;
+  }
+end
+
 val always_taken : unit -> t
 (** Static predictor, the weakest baseline. *)
 

@@ -50,11 +50,15 @@ let storage_bits t =
 let index t k pc =
   ((pc lsr 2) lxor History.Folded.value t.folded.(k) lxor (k * 0x9E5)) land t.mask
 
+(* Explicit loops here and in [train]: [Array.iteri] would allocate its
+   capturing closure on every call, and both run once per event. *)
 let sum t pc =
   let s = ref ((2 * t.bias.((pc lsr 2) land t.mask)) + 1) in
-  Array.iteri
-    (fun k bank -> s := !s + (2 * bank.(index t k pc)) + 1)
-    t.banks;
+  let banks = t.banks in
+  for k = 0 to Array.length banks - 1 do
+    let bank = Array.unsafe_get banks k in
+    s := !s + (2 * bank.(index t k pc)) + 1
+  done;
   !s
 
 let refine_conf t ~conf ~pc ~tage_pred =
@@ -103,11 +107,12 @@ let train t ~pc ~taken =
   if mispredicted || abs t.ctx_sum <= t.threshold then begin
     let bi = (pc lsr 2) land t.mask in
     t.bias.(bi) <- bump t.bias.(bi) ~taken;
-    Array.iteri
-      (fun k bank ->
-        let i = index t k pc in
-        bank.(i) <- bump bank.(i) ~taken)
-      t.banks
+    let banks = t.banks in
+    for k = 0 to Array.length banks - 1 do
+      let bank = Array.unsafe_get banks k in
+      let i = index t k pc in
+      bank.(i) <- bump bank.(i) ~taken
+    done
   end;
   History.push_all t.hist t.folded taken
 

@@ -42,6 +42,9 @@ type t = {
   rng : Rng.t;  (* allocation tie-breaking, as in reference TAGE *)
   mutable use_alt_on_na : int;  (* 4-bit: prefer altpred for weak new entries *)
   mutable trains : int;
+  mutable age_countdown : int;
+      (* trains until the next usefulness aging: hits 0 exactly when
+         [trains mod u_reset_period = 0], without the per-train division *)
   (* predict-time context *)
   ctx_idx : int array;
   ctx_tag : int array;
@@ -94,6 +97,7 @@ let create p =
     rng = Rng.create 0x7A6E;
     use_alt_on_na = 8;
     trains = 0;
+    age_countdown = p.u_reset_period;
     ctx_idx = Array.make p.n_tables 0;
     ctx_tag = Array.make p.n_tables 0;
     ctx_provider = -1;
@@ -109,35 +113,43 @@ let storage_bits t =
   let per_entry = t.p.tag_bits + 3 + 2 in
   (t.p.n_tables * (t.idx_mask + 1) * per_entry) + Bimodal.bits t.base
 
-let index_of t i pc =
-  let tb = t.tables.(i) in
-  (pc lsr 2)
-  lxor (pc lsr (t.p.log_entries - (i land 3)))
-  lxor History.Folded.value tb.f_idx
-  land t.idx_mask
-
-let tag_of t i pc =
-  let tb = t.tables.(i) in
-  ((pc lsr 2)
-  lxor History.Folded.value tb.f_tag0
-  lxor (History.Folded.value tb.f_tag1 lsl 1))
-  land t.tag_mask
-
 let ctr_taken c = Char.code c >= 4
 let ctr_weak c = Char.code c = 3 || Char.code c = 4
 
 let predict t ~pc =
   let n = t.p.n_tables in
   t.ctx_pc <- pc;
+  (* per-table index hash: pc folded with the table's folded history;
+     tag hash: pc folded with the two tag-width folds.  The per-table
+     record and the context arrays are fetched once — every index below
+     is < n or < table entries by construction, so the unchecked reads
+     are safe *)
+  let tables = t.tables in
+  let ctx_idx = t.ctx_idx and ctx_tag = t.ctx_tag in
+  let log_entries = t.p.log_entries in
+  let pc2 = pc lsr 2 in
   for i = 0 to n - 1 do
-    t.ctx_idx.(i) <- index_of t i pc;
-    t.ctx_tag.(i) <- tag_of t i pc
+    let tb = Array.unsafe_get tables i in
+    Array.unsafe_set ctx_idx i
+      (pc2
+      lxor (pc lsr (log_entries - (i land 3)))
+      lxor History.Folded.value tb.f_idx
+      land t.idx_mask);
+    Array.unsafe_set ctx_tag i
+      (pc2
+      lxor History.Folded.value tb.f_tag0
+      lxor (History.Folded.value tb.f_tag1 lsl 1)
+      land t.tag_mask)
   done;
   (* find provider (longest history match) and alternate (next match) *)
   let provider = ref (-1) and alt = ref (-1) in
   let i = ref (n - 1) in
   while !i >= 0 do
-    if t.tables.(!i).tags.(t.ctx_idx.(!i)) = t.ctx_tag.(!i) then begin
+    if
+      Array.unsafe_get (Array.unsafe_get tables !i).tags
+        (Array.unsafe_get ctx_idx !i)
+      = Array.unsafe_get ctx_tag !i
+    then begin
       if !provider < 0 then provider := !i
       else if !alt < 0 then begin
         alt := !i;
@@ -258,7 +270,11 @@ let train t ~pc ~taken =
   if not correct then allocate t ~taken;
   (* graceful aging of usefulness *)
   t.trains <- t.trains + 1;
-  if t.trains mod t.p.u_reset_period = 0 then age_us t;
+  t.age_countdown <- t.age_countdown - 1;
+  if t.age_countdown = 0 then begin
+    age_us t;
+    t.age_countdown <- t.p.u_reset_period
+  end;
   History.push_all t.hist t.all_folded taken
 
 let spectate t ~pc:_ ~taken = History.push_all t.hist t.all_folded taken
@@ -272,4 +288,30 @@ let predictor p =
     spectate = (fun ~pc ~taken -> spectate t ~pc ~taken);
     storage_bits = storage_bits t;
     is_oracle = false;
+  }
+
+let exec t ~pc ~taken =
+  let pred = predict t ~pc in
+  train t ~pc ~taken;
+  pred = taken
+
+let compiled p =
+  let name = Printf.sprintf "tage-%dt-2^%d" p.n_tables p.log_entries in
+  let storage_bits =
+    (* same accounting as [storage_bits], without building the tables *)
+    (p.n_tables * (1 lsl p.log_entries) * (p.tag_bits + 3 + 2))
+    + (2 * (1 lsl p.log_bimodal))
+  in
+  {
+    Predictor.Compiled.name;
+    storage_bits;
+    fill =
+      (fun ~arena ~n ~verdicts ->
+        let t = create p in
+        for i = 0 to n - 1 do
+          let pc = Whisper_trace.Arena.pc arena i in
+          let taken = Whisper_trace.Arena.taken arena i in
+          Bytes.unsafe_set verdicts i
+            (if exec t ~pc ~taken then '\001' else '\000')
+        done);
   }

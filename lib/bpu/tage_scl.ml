@@ -67,3 +67,24 @@ let predictor sizes =
     storage_bits = storage_bits t;
     is_oracle = false;
   }
+
+let exec t ~pc ~taken =
+  let pred = predict t ~pc in
+  train t ~pc ~taken;
+  pred = taken
+
+let compiled sizes =
+  {
+    Predictor.Compiled.name =
+      Printf.sprintf "tage-scl-%dKB" sizes.Sizes.budget_kb;
+    storage_bits = Sizes.total_bits sizes;
+    fill =
+      (fun ~arena ~n ~verdicts ->
+        let t = create sizes in
+        for i = 0 to n - 1 do
+          let pc = Whisper_trace.Arena.pc arena i in
+          let taken = Whisper_trace.Arena.taken arena i in
+          Bytes.unsafe_set verdicts i
+            (if exec t ~pc ~taken then '\001' else '\000')
+        done);
+  }

@@ -20,3 +20,11 @@ val debug_reason : t -> string
 
 val predictor : Sizes.t -> Predictor.t
 (** Package as a {!Predictor.t} named ["tage-scl-<kb>KB"]. *)
+
+val exec : t -> pc:int -> taken:bool -> bool
+(** Fused predict→train with direct known calls; state evolution
+    identical to {!predict} followed by {!train}. *)
+
+val compiled : Sizes.t -> Predictor.Compiled.t
+(** Staged arena kernel (fresh instance per [fill] call); see
+    {!Predictor.Compiled} for the contract. *)

@@ -1,5 +1,9 @@
 (** Generic set-associative LRU cache of line tags, used for the L1i/L2/L3
-    instruction-side hierarchy and for the BTB. *)
+    instruction-side hierarchy and for the BTB.
+
+    The kernel is a single flat preallocated [int array] (set-major,
+    way 0 = MRU), so [access]/[probe] are allocation-free and an instance
+    can be [reset] and reused across runs instead of rebuilt. *)
 
 type t
 
@@ -10,6 +14,10 @@ val create : ?bytes:int -> ?entries:int -> assoc:int -> line_bytes:int -> unit -
 
 val entries : t -> int
 
+val reset : t -> unit
+(** Invalidate every line and zero the hit/miss counters, returning the
+    instance to its freshly-created state without reallocating. *)
+
 val access : t -> int -> bool
 (** [access t addr] probes the line containing [addr] and updates LRU /
     fills on miss; returns whether it hit. *)
@@ -19,3 +27,17 @@ val probe : t -> int -> bool
 
 val hits : t -> int
 val misses : t -> int
+
+(** The original array-of-arrays implementation, retained verbatim as the
+    differential oracle for the flat kernel (see the cache fuzz suite). *)
+module Reference : sig
+  type t
+
+  val create :
+    ?bytes:int -> ?entries:int -> assoc:int -> line_bytes:int -> unit -> t
+
+  val access : t -> int -> bool
+  val probe : t -> int -> bool
+  val hits : t -> int
+  val misses : t -> int
+end

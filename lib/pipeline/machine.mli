@@ -16,7 +16,12 @@
     This reproduces the two mechanisms behind the paper's Fig. 1
     decomposition: removing mispredictions removes squash cycles {e and}
     restores FDIP lookahead, which converts exposed I-cache misses into
-    hidden ones (the paper's "frontend stalls avoided by FDIP"). *)
+    hidden ones (the paper's "frontend stalls avoided by FDIP").
+
+    Cycle and stall totals accumulate internally in scaled integers
+    (2^-20 cycle fixed point, DESIGN.md §15) and are converted to floats
+    once per run, so accumulation is exact, allocation-free, and
+    independent of evaluation order across the feed strategies. *)
 
 type result = {
   cycles : float;
@@ -59,6 +64,24 @@ val run :
     modelled predictor and return whether the direction was predicted
     correctly. *)
 
+type arena_exec =
+  | Indexed of (int -> bool)
+      (** Legacy per-event closure: [predict i] receives the event index,
+          reads whatever arena fields it needs, and must follow the same
+          predict/train protocol as {!run}'s callback. *)
+  | Oracle
+      (** Every prediction is correct — the [ideal] technique with zero
+          per-event predictor work. *)
+  | Compiled of
+      (arena:Whisper_trace.Arena.t -> n:int -> verdicts:Bytes.t -> unit)
+      (** Staged kernel, dispatched to exactly once per run: [fill] must
+          write, for each event index [i < n], a non-['\000'] byte into
+          [verdicts.[i]] iff the predictor's predict→train protocol got
+          event [i]'s direction right.  The buffer is machine-owned
+          per-domain scratch (reused across runs, at least [n] bytes,
+          bytes beyond [n] unspecified).  See
+          {!Whisper_bpu.Predictor.Compiled} for the producing side. *)
+
 val run_arena :
   ?params:Params.t ->
   ?segments:int ->
@@ -69,9 +92,23 @@ val run_arena :
   result
 (** Replay path: same timing model fed by direct indexed reads from a
     packed {!Whisper_trace.Arena} instead of a closure source — no
-    [Branch.event] is allocated per event.  [predict i] receives the
-    event index and reads whatever fields it needs from the arena; it
-    must follow the same predict/train protocol as {!run}'s callback.
+    [Branch.event] is allocated per event.  Equivalent to
+    [run_arena_exec ~exec:(Indexed predict)].
     Both entry points share one accounting core, so for equal streams
     and predictors the results are byte-identical.
+    @raise Invalid_argument if [events] exceeds the arena's length. *)
+
+val run_arena_exec :
+  ?params:Params.t ->
+  ?segments:int ->
+  events:int ->
+  arena:Whisper_trace.Arena.t ->
+  exec:arena_exec ->
+  unit ->
+  result
+(** Like {!run_arena} but with the execution strategy made explicit.
+    All three strategies feed the same accounting core: for the same
+    arena and the same predictor decisions the results are byte-identical
+    regardless of strategy — the compiled path is gated on that equality
+    by catalog tests, fuzz, and an in-bench assert.
     @raise Invalid_argument if [events] exceeds the arena's length. *)

@@ -1,7 +1,10 @@
 open Whisper_util
 open Whisper_pipeline
 
-let format_version = 1
+(* v2: Machine's fixed-point cycle accounting (PR 9) changes the
+   rounding of every cycle/stall float, so v1 entries must not satisfy
+   lookups against the new accounting. *)
+let format_version = 2
 let default_dir = "_whisper_cache"
 let magic_tag = "WRSC"
 

@@ -261,9 +261,28 @@ let profile ?(inputs = [ 0 ]) ?baseline_kb ctx app =
       let one input =
         match ctx.replay_mode with
         | `Arena ->
+            (* Stage the LBR baseline once: the compiled TAGE-SC-L kernel
+               fills a verdict bitmap in one monomorphic pass, and both
+               profiling passes replay it through a cursor.  Collection
+               calls the predictor exactly once per event in order with a
+               fresh instance per pass, so the cursor sequence is
+               byte-identical to a fresh closure predictor per pass —
+               while running the predictor once instead of twice and at
+               compiled speed (profiles equal the closure path's, which
+               the runner catalog tests enforce end to end). *)
+            let a = arena ctx app ~input in
+            let verdicts = Bytes.create ctx.ev in
+            (Tage_scl.compiled (Sizes.for_budget ~kb)).Predictor.Compiled.fill
+              ~arena:a ~n:ctx.ev ~verdicts;
+            let make_predictor () =
+              let i = ref 0 in
+              fun ~pc:_ ~taken:_ ->
+                let v = Bytes.get verdicts !i <> '\000' in
+                incr i;
+                v
+            in
             Profile.collect_arena ~lengths:Workloads.lengths ~events:ctx.ev
-              ~arena:(arena ctx app ~input)
-              ~make_predictor:(lbr_predictor kb) ()
+              ~arena:a ~make_predictor ()
         | `Closure ->
             Profile.collect ~lengths:Workloads.lengths ~events:ctx.ev
               ~make_source:(fun () -> source ctx app ~input)
@@ -363,39 +382,37 @@ let make_exec ctx app technique ~train_inputs ~kb =
 
 (* Same runtimes fed by event index over a packed arena: the predict
    closures read unboxed fields straight out of the arena's buffers, so
-   the whole replay path allocates nothing per event. *)
+   the whole replay path allocates nothing per event.  The heavyweight
+   online baselines return staged compiled kernels
+   ({!Whisper_bpu.Predictor.Compiled}) and the ideal oracle returns
+   [Machine.Oracle], so the machine dispatches once per run instead of
+   calling through a closure record per event; the trained runtimes
+   (ROMBF / BranchNet / Whisper) keep their indexed exec closures. *)
 let make_exec_arena ctx app technique ~train_inputs ~kb ~arena:a =
   match technique with
   | Baseline ->
-      let p = baseline_of ~kb in
-      fun i ->
-        let pc = Arena.pc a i in
-        let taken = Arena.taken a i in
-        let pred = p.Predictor.predict ~pc in
-        p.train ~pc ~taken;
-        pred = taken
-  | Ideal -> fun (_ : int) -> true
+      Whisper_pipeline.Machine.Compiled
+        (Tage_scl.compiled (Sizes.for_budget ~kb)).Predictor.Compiled.fill
+  | Ideal -> Whisper_pipeline.Machine.Oracle
   | Mtage_sc ->
-      let p = Mtage.predictor () in
-      fun i ->
-        let pc = Arena.pc a i in
-        let taken = Arena.taken a i in
-        let pred = p.Predictor.predict ~pc in
-        p.train ~pc ~taken;
-        pred = taken
+      Whisper_pipeline.Machine.Compiled
+        (Mtage.compiled ()).Predictor.Compiled.fill
   | Rombf n ->
       let rt = rombf_runtime ctx app ~train_inputs ~kb n in
-      fun i ->
-        Whisper_rombf.Rombf.Runtime.exec_at rt ~pc:(Arena.pc a i)
-          ~taken:(Arena.taken a i)
+      Whisper_pipeline.Machine.Indexed
+        (fun i ->
+          Whisper_rombf.Rombf.Runtime.exec_at rt ~pc:(Arena.pc a i)
+            ~taken:(Arena.taken a i))
   | Branchnet budget ->
       let rt = branchnet_runtime ctx app ~train_inputs ~kb budget in
-      fun i ->
-        Whisper_branchnet.Branchnet.Runtime.exec_at rt ~pc:(Arena.pc a i)
-          ~taken:(Arena.taken a i)
+      Whisper_pipeline.Machine.Indexed
+        (fun i ->
+          Whisper_branchnet.Branchnet.Runtime.exec_at rt ~pc:(Arena.pc a i)
+            ~taken:(Arena.taken a i))
   | Whisper config ->
       let rt = whisper_runtime ctx app ~train_inputs ~kb config in
-      Whisper_core.Runtime.exec_arena rt ~arena:a
+      Whisper_pipeline.Machine.Indexed
+        (Whisper_core.Runtime.exec_arena rt ~arena:a)
 
 let run_key ctx app technique ~train_inputs ~test_input ~kb =
   Printf.sprintf "%s/%s/%s/%d/%d/%d" app.Workloads.name
@@ -470,8 +487,8 @@ let run ?(train_inputs = [ 0 ]) ?(test_input = 1) ?baseline_kb ctx app
                     make_exec_arena ctx app technique ~train_inputs ~kb
                       ~arena:a
                   in
-                  Whisper_pipeline.Machine.run_arena ~events:ctx.ev ~arena:a
-                    ~predict:exec ()
+                  Whisper_pipeline.Machine.run_arena_exec ~events:ctx.ev
+                    ~arena:a ~exec ()
               | `Closure ->
                   let exec = make_exec ctx app technique ~train_inputs ~kb in
                   Whisper_pipeline.Machine.run ~events:ctx.ev

@@ -126,11 +126,14 @@ val make_exec_arena :
   train_inputs:int list ->
   kb:int ->
   arena:Whisper_trace.Arena.t ->
-  int ->
-  bool
-(** The same runtime fed by event index over [arena], for
-    {!Whisper_pipeline.Machine.run_arena} — reads unboxed fields
-    straight from the packed buffers. *)
+  Whisper_pipeline.Machine.arena_exec
+(** The same runtime as an arena execution strategy for
+    {!Whisper_pipeline.Machine.run_arena_exec}: [Oracle] for the ideal
+    predictor, staged {!Whisper_bpu.Predictor.Compiled} kernels for the
+    online baselines (TAGE-SC-L / MTAGE-SC), and indexed closures
+    reading unboxed fields straight from the packed buffers for the
+    trained runtimes.  Byte-identical results to {!make_exec} under
+    {!Whisper_pipeline.Machine.run} by the differential-oracle tests. *)
 
 val profile :
   ?inputs:int list ->

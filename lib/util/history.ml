@@ -12,7 +12,10 @@ let create ~depth =
 let depth t = t.cap
 
 let push t taken =
-  t.head <- (t.head + 1) mod t.cap;
+  (* head is always in [0, cap): the compare-based wraparound is exactly
+     [(head + 1) mod cap] without the hot-loop integer division *)
+  let h = t.head + 1 in
+  t.head <- (if h >= t.cap then 0 else h);
   Bytes.unsafe_set t.buf t.head (if taken then '\001' else '\000');
   t.pushed <- t.pushed + 1
 

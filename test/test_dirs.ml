@@ -1,0 +1,38 @@
+(* Temp-dir helper for tests that exercise the persistent caches.
+   [fresh name] hands out a unique path under the system temp directory
+   and registers it for recursive removal at process exit, so
+   `dune runtest` leaves no cache litter behind (the repo .gitignore
+   keeps the old `_test_cache_*` patterns only as a backstop).
+
+   No toplevel side effects beyond ref cells: this module is linked into
+   every test executable. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let registered : string list ref = ref []
+let counter = ref 0
+let cleanup_installed = ref false
+
+let fresh name =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "whisper_test_%s_%d_%d" name (Unix.getpid ()) !counter)
+  in
+  if not !cleanup_installed then begin
+    cleanup_installed := true;
+    at_exit (fun () ->
+        List.iter (fun d -> try rm_rf d with _ -> ()) !registered)
+  end;
+  registered := dir :: !registered;
+  (* caches mkdir their roots themselves; make sure a stale run's
+     leftovers never leak state into this one *)
+  (try rm_rf dir with _ -> ());
+  dir

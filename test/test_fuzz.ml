@@ -490,7 +490,7 @@ let test_arena_cache_chaos_drop_and_regenerate () =
   (* a cached arena corrupted in flight (rate-1.0 injector on the read
      path) is dropped and counted, and the decode-once build is
      deterministic, so regeneration restores the identical arena *)
-  let dir = "_test_fuzz_arena_cache" in
+  let dir = Test_dirs.fresh "fuzz_arena" in
   let arena = arena_of_tiny () in
   let f = Whisper_util.Fault.create ~seed:17 ~rate:1.0 () in
   let key =
@@ -601,6 +601,153 @@ let test_journal_every_truncation_point () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Flat cache kernel vs the array-of-arrays oracle                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The flat Cache kernel must be trace-identical to the retained
+   [Cache.Reference] implementation for arbitrary geometries — including
+   the degenerate corners no shipped config picks: direct-mapped
+   (assoc = 1), fully associative (one set), tiny lines. *)
+let test_flat_cache_equals_reference () =
+  let open Whisper_pipeline in
+  let rng = Rng.create (seed lxor 0xCAC4E) in
+  (* both sizing spellings reject bad geometry with the same message *)
+  let rejects f = match f () with _ -> None | exception Invalid_argument m -> Some m in
+  check_bool "non-power-of-two sets rejected identically" true
+    (rejects (fun () -> Cache.create ~entries:6 ~assoc:2 ~line_bytes:64 ())
+    = rejects (fun () ->
+          Cache.Reference.create ~entries:6 ~assoc:2 ~line_bytes:64 ()));
+  check_bool "double sizing rejected identically" true
+    (rejects (fun () -> Cache.create ~bytes:4096 ~entries:64 ~assoc:2 ~line_bytes:64 ())
+    = rejects (fun () ->
+          Cache.Reference.create ~bytes:4096 ~entries:64 ~assoc:2 ~line_bytes:64 ()));
+  let geom_cases = max 12 (cases / 50) in
+  for case = 1 to geom_cases do
+    let line_bytes = 1 lsl Rng.int rng 8 in
+    let log_entries = 1 + Rng.int rng 7 in
+    let entries = 1 lsl log_entries in
+    let assoc =
+      match case mod 3 with
+      | 0 -> 1 (* direct-mapped *)
+      | 1 -> entries (* fully associative *)
+      | _ -> 1 lsl Rng.int rng (log_entries + 1)
+    in
+    let flat, oracle =
+      if Rng.bool rng then
+        ( Cache.create ~entries ~assoc ~line_bytes (),
+          Cache.Reference.create ~entries ~assoc ~line_bytes () )
+      else
+        let bytes = entries * line_bytes in
+        ( Cache.create ~bytes ~assoc ~line_bytes (),
+          Cache.Reference.create ~bytes ~assoc ~line_bytes () )
+    in
+    check_int "entries" entries (Cache.entries flat);
+    (* a footprint a little over capacity keeps hits and misses mixed *)
+    let span = entries * line_bytes * 2 in
+    let ops = Array.init 2_000 (fun _ -> (Rng.int rng span, Rng.int rng 4 = 0)) in
+    let replay flat oracle =
+      Array.iteri
+        (fun op (addr, is_probe) ->
+          let a, b =
+            if is_probe then (Cache.probe flat addr, Cache.Reference.probe oracle addr)
+            else (Cache.access flat addr, Cache.Reference.access oracle addr)
+          in
+          if a <> b then
+            Alcotest.failf "case %d op %d: %s diverges (seed %d)" case op
+              (if is_probe then "probe" else "access")
+              seed)
+        ops;
+      check_int "hits" (Cache.Reference.hits oracle) (Cache.hits flat);
+      check_int "misses" (Cache.Reference.misses oracle) (Cache.misses flat)
+    in
+    replay flat oracle;
+    (* [reset] restores creation state exactly: the same trace against a
+       reset instance agrees with a freshly built oracle *)
+    Cache.reset flat;
+    replay flat (Cache.Reference.create ~entries ~assoc ~line_bytes ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Compiled predictor kernels vs the closure path                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The staged [Machine.Compiled] / [Machine.Oracle] strategies must give
+   byte-identical [Machine.result]s to the per-event closure path for
+   arbitrary workload shapes, not just the catalog apps.  The oracle is
+   the untouched closure record ([Predictor.t]) driven through the
+   legacy Indexed strategy — the same differential pattern the catalog
+   test pins, here over randomized app configs and arena lengths. *)
+let test_compiled_kernels_equal_closure_oracle () =
+  let open Whisper_bpu in
+  let module Machine = Whisper_pipeline.Machine in
+  let rng = Rng.create (seed lxor 0xFA57) in
+  let config_cases = max 5 (cases / 200) in
+  (* shrunken geometries: same code paths (allocation, aging, folding,
+     SC/loop overrides), fuzz-friendly runtimes *)
+  let small_tage =
+    {
+      Tage.default_params with
+      n_tables = 5;
+      log_entries = 7;
+      log_bimodal = 9;
+      max_len = 128;
+      u_reset_period = 1 lsl 10;
+    }
+  in
+  let scl_sizes = Sizes.for_budget ~kb:64 in
+  for case = 1 to config_cases do
+    let config =
+      {
+        (Option.get (Workloads.by_name "cassandra")) with
+        Workloads.name = Printf.sprintf "fuzz-compiled-%d" case;
+        functions = 2 + Rng.int rng 8;
+        seed = Rng.int rng 10_000;
+      }
+    in
+    let cfg = Workloads.build_cfg config in
+    let input = Rng.int rng 3 in
+    let events = 500 + Rng.int rng 2_500 in
+    let arena = Arena.build ~events (App_model.create ~cfg ~config ~input ()) in
+    let indexed (p : Predictor.t) i =
+      let pc = Arena.pc arena i and taken = Arena.taken arena i in
+      let pred = p.Predictor.predict ~pc in
+      p.Predictor.train ~pc ~taken;
+      pred = taken
+    in
+    let diff name rc ro =
+      if rc <> ro then
+        Alcotest.failf "case %d: %s compiled result diverges (seed %d)" case
+          name seed
+    in
+    List.iter
+      (fun (name, compiled, oracle) ->
+        let rc =
+          Machine.run_arena_exec ~events ~arena
+            ~exec:(Machine.Compiled compiled.Predictor.Compiled.fill)
+            ()
+        in
+        let ro =
+          Machine.run_arena_exec ~events ~arena
+            ~exec:(Machine.Indexed (indexed oracle))
+            ()
+        in
+        diff name rc ro)
+      [
+        ("tage", Tage.compiled small_tage, Tage.predictor small_tage);
+        ("tage-scl", Tage_scl.compiled scl_sizes, Tage_scl.predictor scl_sizes);
+        ( "mtage-sc",
+          Mtage.compiled ~n_lengths:4 ~max_len:64 (),
+          Mtage.predictor ~n_lengths:4 ~max_len:64 () );
+      ];
+    (* the ideal technique: Oracle strategy == an always-correct closure *)
+    diff "ideal"
+      (Machine.run_arena_exec ~events ~arena ~exec:Machine.Oracle ())
+      (Machine.run_arena_exec ~events ~arena
+         ~exec:(Machine.Indexed (fun _ -> true))
+         ())
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial (not random) inputs                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -694,6 +841,10 @@ let () =
               test_compiled_runtime_equals_oracle_random_plans;
             test_case "arena replay equals closure replay" `Quick
               test_arena_replay_equals_closure_random_configs;
+            test_case "flat cache equals reference cache" `Quick
+              test_flat_cache_equals_reference;
+            test_case "compiled kernels equal closure oracle" `Quick
+              test_compiled_kernels_equal_closure_oracle;
             test_case "corrupt cached arena regenerates" `Quick
               test_arena_cache_chaos_drop_and_regenerate;
             test_case "journal recovery keeps only the original prefix" `Quick

@@ -239,7 +239,7 @@ let sample_result () =
   }
 
 let test_cache_roundtrip () =
-  let c = Result_cache.create ~dir:"_test_cache_rt" () in
+  let c = Result_cache.create ~dir:(Test_dirs.fresh "rt") () in
   let key = "cassandra/whisper/0/1/64/60000" in
   check_bool "empty" true (Result_cache.find c ~key = None);
   let r = sample_result () in
@@ -249,7 +249,7 @@ let test_cache_roundtrip () =
   check_bool "other key misses" true (Result_cache.find c ~key:"other" = None)
 
 let test_cache_corrupt_recovery () =
-  let c = Result_cache.create ~dir:"_test_cache_corrupt" () in
+  let c = Result_cache.create ~dir:(Test_dirs.fresh "corrupt") () in
   let key = "mysql/tage-scl/0/1/64/60000" in
   Result_cache.store c ~key (sample_result ());
   let file = Result_cache.path c ~key in
@@ -275,7 +275,7 @@ let test_cache_key_mismatch () =
     | Ok _ -> false)
 
 let test_cache_counters () =
-  let dir = "_test_cache_counters" in
+  let dir = Test_dirs.fresh "counters" in
   let c = Result_cache.create ~dir () in
   let key = "counter-key" in
   Result_cache.store c ~key (sample_result ());
@@ -290,7 +290,7 @@ let test_cache_counters () =
     (Result_cache.counters c).Result_cache.write_failures;
   (* replace the cache directory with a plain file: every subsequent
      write must fail, be swallowed, and be counted *)
-  let wf_dir = "_test_cache_wf" in
+  let wf_dir = Test_dirs.fresh "wf" in
   let c2 = Result_cache.create ~dir:wf_dir () in
   Unix.rmdir wf_dir;
   let oc = open_out wf_dir in
@@ -306,7 +306,7 @@ let test_cache_corrupt_hook () =
   let c =
     Result_cache.create
       ~corrupt:(fun ~key:_ b -> Bytes.sub b 0 (Bytes.length b / 2))
-      ~dir:"_test_cache_hook" ()
+      ~dir:(Test_dirs.fresh "hook") ()
   in
   Result_cache.store c ~key:"k" (sample_result ());
   check_bool "hook-corrupted read is a miss" true
@@ -363,7 +363,7 @@ let test_run_batch_whisper_parallel_identity () =
     (results ~jobs:1 = results ~jobs:4)
 
 let test_warm_cache_rerun () =
-  let dir = "_test_cache_warm" in
+  let dir = Test_dirs.fresh "warm" in
   let cold = Runner.create_ctx ~events:det_events ~jobs:2 ~cache_dir:dir () in
   let r1 = Experiments.fig2 cold in
   let s1 = Runner.stats cold in
@@ -414,14 +414,6 @@ let test_report_timing_line () =
 (* Arena replay: closure equivalence, persistent arena cache          *)
 (* ------------------------------------------------------------------ *)
 
-let rec rm_rf path =
-  match (Unix.lstat path).Unix.st_kind with
-  | Unix.S_DIR ->
-      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
-      Unix.rmdir path
-  | _ -> Sys.remove path
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
-
 let arena_techniques =
   [
     Runner.Baseline;
@@ -454,8 +446,7 @@ let test_arena_matches_closure_all_techniques () =
     (Runner.stats closure).Runner.arena_builds
 
 let test_arena_cache_warm_and_corrupt () =
-  let dir = "_test_cache_arena" in
-  rm_rf dir;
+  let dir = Test_dirs.fresh "arena" in
   let a = app "cassandra" in
   let cold = Runner.create_ctx ~events:det_events ~jobs:1 ~cache_dir:dir () in
   let built = Runner.arena cold a ~input:1 in
