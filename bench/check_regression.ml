@@ -5,6 +5,8 @@
                       [--floor NAME=V]...
      check_regression --kind replay --baseline F --fresh F [--tolerance T]
                       [--floor NAME=V]...
+     check_regression --kind serve --baseline F --fresh F [--tolerance T]
+                      [--floor NAME=V]...
          Compare a freshly generated BENCH_*.json against the committed
          baseline: every key speedup ratio must stay within the relative
          tolerance band (default 0.30 = fail on >30%% regression), the
@@ -23,9 +25,21 @@
          host_cores < K: a K-way scaling floor is unfalsifiable on a
          host that cannot run K domains in parallel.
 
-     check_regression --metrics-valid FILE
+         The serve kind's key fields are lower-is-better latencies
+         (ns/sample, ms): the band inverts to a ceiling — fresh must stay
+         under baseline * (1 + tolerance).  The per-sample ingest ceiling
+         binds at any workload size; the per-window rescore ceiling only
+         binds when baseline and fresh ran the same events/smoke
+         configuration.  The bench must always report
+         serve_generations_identical (interrupted + resumed scenario
+         ledger byte-identical to the uninterrupted one).
+
+     check_regression --metrics-valid FILE [--require COUNTER]
          Assert FILE is a schema-valid whisper-metrics document with
-         nonzero event and span counts.
+         nonzero event and span counts.  COUNTER (default machine.events)
+         is the counter that must be present and nonzero — serve runs
+         never touch the machine model, so their smoke gate passes
+         --require serve.generations instead.
 
      check_regression --metrics-equal A B
          Assert two metrics documents agree on every value-metric
@@ -92,6 +106,20 @@ let ratio_fields = function
            hosts, so their contract is the absolute --floor gates the
            workflows pass instead *)
       ]
+  | `Serve -> []
+
+(* Lower-is-better latency fields: the tolerance band inverts to a
+   ceiling (fresh <= baseline * (1 + tolerance)).  Per-sample figures
+   are size-normalized, so they gate across workload sizes; absolute
+   per-window figures scale with the workload and only gate when
+   baseline and fresh ran the same events/smoke configuration. *)
+let ceiling_fields = function
+  | `Serve -> [ "serve_ingest_ns_per_sample" ]
+  | `Search | `Replay -> []
+
+let sized_ceiling_fields = function
+  | `Serve -> [ "serve_rescore_ms" ]
+  | `Search | `Replay -> []
 
 (* Workload-shape fields: a mismatch means the two runs did different
    work, which is a configuration error, not a perf regression — but
@@ -99,6 +127,7 @@ let ratio_fields = function
 let equality_fields = function
   | `Search -> [ "hints"; "candidate_branches"; "candidate_formulas" ]
   | `Replay -> [ "batch_techniques" ]
+  | `Serve -> [ "serve_generations"; "serve_rollouts"; "serve_final_hints" ]
 
 let same_workload baseline fresh =
   num_field baseline "events" = num_field fresh "events"
@@ -141,6 +170,11 @@ let check_parallel_identical fresh_path fresh =
 
 let check_bench kind ~baseline_path ~fresh_path ~tolerance ~floors =
   let baseline = load baseline_path and fresh = load fresh_path in
+  let same = same_workload baseline fresh in
+  let ceilings =
+    if same then ceiling_fields kind @ sized_ceiling_fields kind
+    else ceiling_fields kind
+  in
   List.iter
     (fun name ->
       let b = require_num baseline_path baseline name in
@@ -151,7 +185,20 @@ let check_bench kind ~baseline_path ~fresh_path ~tolerance ~floors =
           floor_v
       else note "%s: baseline %.2f, fresh %.2f (floor %.2f) ok" name b f floor_v)
     (ratio_fields kind);
-  if same_workload baseline fresh then
+  List.iter
+    (fun name ->
+      let b = require_num baseline_path baseline name in
+      let f = require_num fresh_path fresh name in
+      let ceiling = b *. (1.0 +. tolerance) in
+      if f > ceiling then
+        fail "%s regressed: %.2f -> %.2f (tolerance ceiling %.2f)" name b f
+          ceiling
+      else
+        note "%s: baseline %.2f, fresh %.2f (ceiling %.2f) ok" name b f ceiling)
+    ceilings;
+  if (not same) && sized_ceiling_fields kind <> [] then
+    note "events/smoke differ: skipping sized ceilings";
+  if same then
     List.iter
       (fun name ->
         let b = require_num baseline_path baseline name in
@@ -164,6 +211,12 @@ let check_bench kind ~baseline_path ~fresh_path ~tolerance ~floors =
   check_floors ~fresh_path fresh floors;
   match kind with
   | `Search -> check_parallel_identical fresh_path fresh
+  | `Serve ->
+      (* the serve bench replays its scripted scenario interrupted +
+         resumed and asserts the ledgers byte-identical before emitting
+         JSON; the field is required so a bench that silently stopped
+         asserting fails the gate *)
+      check_bool_field "serve_generations_identical" fresh_path fresh
   | `Replay -> (
       check_parallel_identical fresh_path fresh;
       (* the replay bench asserts byte-identity of the compiled arena
@@ -199,7 +252,7 @@ let check_bench kind ~baseline_path ~fresh_path ~tolerance ~floors =
 (* metrics.json checks                                                *)
 (* ------------------------------------------------------------------ *)
 
-let check_metrics_valid path =
+let check_metrics_valid ?(required = "machine.events") path =
   let doc = load path in
   let open Whisper_util.Sjson in
   (match member "schema" doc with
@@ -225,9 +278,9 @@ let check_metrics_valid path =
         else fail "%s: every counter is zero" path
       end
   | _ -> fail "%s: missing counters object" path);
-  (match Option.bind (member "counters" doc) (member "machine.events") with
-  | Some v when num v > Some 0.0 -> note "machine.events nonzero ok"
-  | _ -> fail "%s: machine.events counter is missing or zero" path);
+  (match Option.bind (member "counters" doc) (member required) with
+  | Some v when num v > Some 0.0 -> note "%s nonzero ok" required
+  | _ -> fail "%s: %s counter is missing or zero" path required);
   match Option.bind (member "spans" doc) (member "count") with
   | Some v when num v > Some 0.0 -> note "spans.count nonzero ok"
   | _ -> fail "%s: spans.count is missing or zero" path
@@ -248,9 +301,9 @@ let check_metrics_equal a_path b_path =
 
 let usage () =
   prerr_endline
-    "usage: check_regression --kind search|replay --baseline F --fresh F \
+    "usage: check_regression --kind search|replay|serve --baseline F --fresh F \
      [--tolerance T] [--floor NAME=V]...\n\
-    \       check_regression --metrics-valid FILE\n\
+    \       check_regression --metrics-valid FILE [--require COUNTER]\n\
     \       check_regression --metrics-equal A B";
   exit 2
 
@@ -258,6 +311,8 @@ let () =
   let args = Array.to_list Sys.argv in
   (match args with
   | _ :: "--metrics-valid" :: path :: [] -> check_metrics_valid path
+  | [ _; "--metrics-valid"; path; "--require"; counter ] ->
+      check_metrics_valid ~required:counter path
   | _ :: "--metrics-equal" :: a :: b :: [] -> check_metrics_equal a b
   | _ :: rest ->
       let opts = Hashtbl.create 8 in
@@ -286,6 +341,7 @@ let () =
         match get "kind" with
         | Some "search" -> `Search
         | Some "replay" -> `Replay
+        | Some "serve" -> `Serve
         | _ -> usage ()
       in
       let baseline_path = match get "baseline" with Some p -> p | None -> usage () in

@@ -24,11 +24,13 @@
                          (default 0.0; failing items are retried, then
                          reported as DEGRADED rows)
      WHISPER_FAULT_SEED  seed of the fault injector (default 42)
-     WHISPER_BENCH_SMOKE        short mode for parts 1b/1c (CI)
+     WHISPER_BENCH_SMOKE        short mode for parts 1b/1c/1d (CI)
      WHISPER_SEARCH_BENCH_ONLY  run only part 1b, then exit
      WHISPER_REPLAY_BENCH_ONLY  run only part 1c, then exit
+     WHISPER_SERVE_BENCH_ONLY   run only part 1d, then exit
      WHISPER_BENCH_OUT          part 1b output (default BENCH_search.json)
-     WHISPER_REPLAY_OUT         part 1c output (default BENCH_replay.json) *)
+     WHISPER_REPLAY_OUT         part 1c output (default BENCH_replay.json)
+     WHISPER_SERVE_OUT          part 1d output (default BENCH_serve.json) *)
 
 open Bechamel
 open Toolkit
@@ -1000,6 +1002,184 @@ let replay_bench () =
   ignore !sink
 
 (* ------------------------------------------------------------------ *)
+(* Part 1d: continuous-profiling service benchmark (BENCH_serve.json) *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the serve-mode hot path: chunk-ingest throughput into the
+   order-independent accumulator, the window re-scoring latency that
+   runs every generation, and — before emitting any number — replays the
+   scripted drifting scenario interrupted-and-resumed against an
+   uninterrupted reference and asserts the generation ledgers are
+   byte-identical.
+
+   Extra environment:
+     WHISPER_BENCH_SMOKE  short mode for CI (fewer/smaller generations)
+     WHISPER_SERVE_OUT    output path (default BENCH_serve.json) *)
+
+let rec bench_rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun e -> bench_rm_rf (Filename.concat path e))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let serve_bench () =
+  let module Serve = Whisper_sim.Serve in
+  let smoke = Sys.getenv_opt "WHISPER_BENCH_SMOKE" <> None in
+  let generations = if smoke then 8 else 16 in
+  let chunk_events = if smoke then 60_000 else 120_000 in
+  let min_s = if smoke then 0.05 else 0.3 in
+  let app_name = "finagle-http" in
+  Printf.printf
+    "\n== serve benchmark (%s, %d generations x %d-event chunks%s) ==\n%!"
+    app_name generations chunk_events
+    (if smoke then ", smoke mode" else "");
+  let state_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "whisper_bench_serve_%d" (Unix.getpid ()))
+  in
+  bench_rm_rf state_root;
+  let cfg dir =
+    {
+      (Serve.default ~state_dir:(Filename.concat state_root dir)) with
+      Serve.generations;
+      chunk_events;
+      drift_flip = Some (generations / 2);
+      apps = [ app_name ];
+    }
+  in
+  (* --- the scripted scenario, clean, as the reference ledger *)
+  let t0 = Unix.gettimeofday () in
+  let clean = Serve.run (cfg "clean") in
+  let clean_s = Unix.gettimeofday () -. t0 in
+  assert (not clean.Serve.interrupted);
+  (* --- the same scenario interrupted mid-run and resumed: the ledger
+     must come back byte-identical, or no perf number matters *)
+  ignore
+    (Serve.run { (cfg "kill") with Serve.max_steps = Some (generations / 2) });
+  let resumed = Serve.run { (cfg "kill") with Serve.resume = true } in
+  let generations_identical =
+    clean.Serve.ledger = resumed.Serve.ledger
+    && clean.Serve.summary = resumed.Serve.summary
+  in
+  if not generations_identical then
+    failwith "serve bench: resumed ledger differs from the clean reference";
+  Printf.printf
+    "  scenario: %d steps in %.1f s, %d rollouts, %d drift detections; \
+     kill/resume ledger identical\n\
+     %!"
+    clean.Serve.total clean_s clean.Serve.rollouts clean.Serve.drift_detected;
+  (* --- ingest throughput: the per-delivery accumulator merge *)
+  let wcfg = Option.get (Workloads.by_name app_name) in
+  let cfg_static = Workloads.build_cfg wcfg in
+  let chunk input =
+    Profile.collect ~max_samples:512 ~lengths:Workloads.lengths
+      ~events:chunk_events
+      ~make_source:(fun () ->
+        App_model.source (App_model.create ~cfg:cfg_static ~config:wcfg ~input ()))
+      ~make_predictor:(Whisper_sim.Runner.lbr_predictor 64)
+      ()
+  in
+  let window = List.init 4 chunk in
+  let samples_per_round =
+    let a =
+      Whisper_trace.Profile_chunk.create_accum ~max_samples:512
+        ~lengths:Workloads.lengths ()
+    in
+    List.iteri
+      (fun i p ->
+        ignore
+          (Whisper_trace.Profile_chunk.ingest_profile a ~id:(string_of_int i) p))
+      window;
+    Whisper_trace.Profile_chunk.samples a
+  in
+  let ingest_round_ns =
+    time_ns ~min_s (fun () ->
+        let a =
+          Whisper_trace.Profile_chunk.create_accum ~max_samples:512
+            ~lengths:Workloads.lengths ()
+        in
+        List.iteri
+          (fun i p ->
+            ignore
+              (Whisper_trace.Profile_chunk.ingest_profile a
+                 ~id:(string_of_int i) p))
+          window)
+  in
+  let ingest_ns_per_sample =
+    ingest_round_ns /. float_of_int (max 1 samples_per_round)
+  in
+  (* --- re-scoring latency: the drift detector's per-generation cost *)
+  let wprof =
+    Whisper_trace.Profile_chunk.merge_profiles ~max_samples:512
+      ~lengths:Workloads.lengths window
+  in
+  let config = Whisper_core.Config.default in
+  let rnd = Whisper_core.Randomized.create config in
+  let plan = (Whisper_core.Analyze.run ~config wprof).Whisper_core.Analyze.decisions in
+  let rescore_ns =
+    time_ns ~min_s (fun () ->
+        ignore (Whisper_core.Rescore.score ~config ~rnd ~profile:wprof plan))
+  in
+  let rescore_ms = rescore_ns /. 1e6 in
+  let final_hints =
+    (* the hints= field of the last ledger line *)
+    match List.rev clean.Serve.ledger with
+    | last :: _ ->
+        List.fold_left
+          (fun acc tok ->
+            match String.index_opt tok '=' with
+            | Some i when String.sub tok 0 i = "hints" ->
+                int_of_string
+                  (String.sub tok (i + 1) (String.length tok - i - 1))
+            | _ -> acc)
+          0
+          (String.split_on_char ' ' last)
+    | [] -> 0
+  in
+  Printf.printf
+    "  ingest %.1f ns/sample (%d samples/window), rescore %.2f ms \
+     (%d hints, %d window branches)\n\
+     %!"
+    ingest_ns_per_sample samples_per_round rescore_ms (List.length plan)
+    (Array.length (Profile.candidates wprof));
+  let out =
+    Option.value ~default:"BENCH_serve.json" (Sys.getenv_opt "WHISPER_SERVE_OUT")
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "app": %S,
+  "events": %d,
+  "smoke": %b,
+  "serve_generations": %d,
+  "serve_window": 4,
+  "serve_chunks_ingested": %d,
+  "serve_rollouts": %d,
+  "serve_drift_detected": %d,
+  "serve_final_hints": %d,
+  "serve_ingest_ns_per_sample": %.2f,
+  "serve_samples_per_window": %d,
+  "serve_rescore_ms": %.3f,
+  "serve_scenario_s": %.2f,
+  "host_cores": %d,
+  "serve_generations_identical": %b
+}
+|}
+    app_name chunk_events smoke generations clean.Serve.chunks_ingested
+    clean.Serve.rollouts clean.Serve.drift_detected final_hints
+    ingest_ns_per_sample samples_per_round rescore_ms clean_s
+    (Domain.recommended_domain_count ())
+    generations_identical;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out;
+  bench_rm_rf state_root
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: ablation benches                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1128,9 +1308,15 @@ let () =
     emit_telemetry ();
     exit 0
   end;
+  if Sys.getenv_opt "WHISPER_SERVE_BENCH_ONLY" <> None then begin
+    serve_bench ();
+    emit_telemetry ();
+    exit 0
+  end;
   if Sys.getenv_opt "WHISPER_SKIP_MICRO" = None then run_micro ();
   search_bench ();
   replay_bench ();
+  serve_bench ();
   Printf.printf
     "\n== paper tables & figures (%d events per run, %d jobs%s) ==\n\n%!"
     events jobs

@@ -711,6 +711,171 @@ let sweep_cmd =
       $ hang_timeout_arg $ max_restarts_arg $ max_attempts_arg $ resume_arg
       $ max_completions_arg $ csv_arg $ metrics_out_arg $ trace_out_arg)
 
+let serve_cmd =
+  let apps_arg =
+    Arg.(
+      value
+      & opt (list string) [ "finagle-http" ]
+      & info [ "apps" ] ~docv:"NAMES"
+          ~doc:"Comma-separated catalogue applications the service profiles")
+  in
+  let generations_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Scripted delivery intervals (one trace chunk per app each)")
+  in
+  let chunk_events_arg =
+    Arg.(
+      value & opt int 120_000
+      & info [ "chunk-events" ] ~docv:"N"
+          ~doc:"Branch events collected per trace chunk")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Sliding re-scoring window, in accepted chunks")
+  in
+  let max_samples_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-samples" ] ~docv:"N"
+          ~doc:"Per-branch sample cap of the profile accumulator")
+  in
+  let drift_flip_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "drift-flip" ] ~docv:"GEN"
+          ~doc:
+            "Generation at which the workload's session mix flips to a new \
+             phase (default: half the generations)")
+  in
+  let no_drift_arg =
+    Arg.(
+      value & flag
+      & info [ "no-drift" ] ~doc:"Run a stationary workload (no phase flip)")
+  in
+  let decay_frac_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "decay-frac" ] ~docv:"F"
+          ~doc:
+            "Re-analysis triggers when window coverage falls below $(docv) x \
+             the deployed plan's rollout coverage")
+  in
+  let state_dir_arg =
+    Arg.(
+      value & opt string "_whisper_serve"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info "WHISPER_SERVE_DIR")
+          ~doc:
+            "Service state root: manifest, completion journal, chunk and \
+             plan stores — $(b,--resume) replays them")
+  in
+  let no_redeliver_arg =
+    Arg.(
+      value & flag
+      & info [ "no-redeliver" ]
+          ~doc:
+            "Skip the per-generation duplicate re-delivery of each accepted \
+             chunk (the idempotency probe)")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the state directory's journal: applied steps are \
+             replayed without re-execution; the final ledger is \
+             byte-identical to an uninterrupted run")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"K"
+          ~doc:
+            "Testing hook: stop (as if killed) after $(docv) journaled steps \
+             this run, skipping the ledger")
+  in
+  let assert_recovery_arg =
+    Arg.(
+      value & flag
+      & info [ "assert-recovery" ]
+          ~doc:
+            "Exit non-zero unless the phase flip produced a drift detection, \
+             a post-flip rollout and a final coverage above the post-flip \
+             trough (the CI soak gate)")
+  in
+  let run apps generations chunk_events window kb max_samples drift_flip
+      no_drift decay_frac state_dir jobs faults fault_seed no_redeliver resume
+      max_steps assert_recovery metrics_out trace_out =
+    List.iter (fun a -> ignore (find_app a)) apps;
+    let drift_flip =
+      if no_drift then None
+      else if drift_flip >= 0 then Some drift_flip
+      else Some (generations / 2)
+    in
+    let cfg =
+      {
+        (Whisper_sim.Serve.default ~state_dir) with
+        apps;
+        generations;
+        chunk_events;
+        window;
+        kb;
+        max_samples;
+        drift_flip;
+        decay_frac;
+        jobs;
+        faults;
+        fault_seed;
+        redeliver = not no_redeliver;
+        resume;
+        max_steps;
+      }
+    in
+    let o = Whisper_sim.Serve.run cfg in
+    Printf.eprintf
+      "serve: manifest %s — %d steps, %d completed, %d resumed\n"
+      o.Whisper_sim.Serve.manifest_id o.total o.completed o.resumed;
+    if o.Whisper_sim.Serve.journal_recovered then
+      Printf.eprintf "serve: journal recovered (%d corrupt bytes dropped)\n"
+        o.Whisper_sim.Serve.journal_dropped_bytes;
+    if o.Whisper_sim.Serve.chunks_quarantined + o.Whisper_sim.Serve.analysis_quarantined > 0
+    then
+      Printf.eprintf "serve: degraded — %d chunks, %d analyses quarantined\n"
+        o.Whisper_sim.Serve.chunks_quarantined
+        o.Whisper_sim.Serve.analysis_quarantined;
+    if o.Whisper_sim.Serve.interrupted then
+      Printf.eprintf "serve: interrupted before completion\n"
+    else begin
+      List.iter print_endline o.Whisper_sim.Serve.ledger;
+      print_newline ();
+      List.iter print_endline o.Whisper_sim.Serve.summary
+    end;
+    emit_telemetry ~summary:true ~metrics_out ~trace_out ();
+    if assert_recovery then
+      match Whisper_sim.Serve.check_recovery cfg o with
+      | Ok () -> Printf.eprintf "serve: drift recovery asserted ok\n"
+      | Error reason ->
+          Printf.eprintf "serve: drift recovery assertion FAILED: %s\n" reason;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Continuous-profiling service mode: incremental chunk ingestion, \
+          drift detection and versioned plan rollout (journaled, resumable \
+          with --resume)")
+    Term.(
+      const run $ apps_arg $ generations_arg $ chunk_events_arg $ window_arg
+      $ kb_arg $ max_samples_arg $ drift_flip_arg $ no_drift_arg
+      $ decay_frac_arg $ state_dir_arg $ jobs_arg $ faults_arg $ fault_seed_arg
+      $ no_redeliver_arg $ resume_arg $ max_steps_arg $ assert_recovery_arg
+      $ metrics_out_arg $ trace_out_arg)
+
 let worker_cmd =
   Cmd.v
     (Cmd.info "worker"
@@ -736,5 +901,6 @@ let () =
             trace_cmd;
             experiment_cmd;
             sweep_cmd;
+            serve_cmd;
             worker_cmd;
           ]))

@@ -1,0 +1,171 @@
+open Whisper_util
+open Whisper_trace
+
+type plan = (int * History_select.choice) list
+
+let magic = "WRSC"
+let format_version = 1
+
+let bias_code = function
+  | Brhint.Formula -> 0
+  | Brhint.Always_taken -> 1
+  | Brhint.Never_taken -> 2
+  | Brhint.Dynamic -> 3
+
+let bias_of_code r = function
+  | 0 -> Brhint.Formula
+  | 1 -> Brhint.Always_taken
+  | 2 -> Brhint.Never_taken
+  | 3 -> Brhint.Dynamic
+  | _ ->
+      Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Plan_io
+        (Whisper_error.Out_of_range "bias")
+
+let encode (plan : plan) =
+  let w = Binio.Writer.create ~capacity:1024 () in
+  Binio.Writer.magic w magic;
+  Binio.Writer.varint w format_version;
+  Binio.Writer.varint w (List.length plan);
+  List.iter
+    (fun (pc, (c : History_select.choice)) ->
+      Binio.Writer.varint w pc;
+      Binio.Writer.byte w (bias_code c.bias);
+      Binio.Writer.varint w c.len_idx;
+      Binio.Writer.varint w c.formula_id;
+      Binio.Writer.varint w c.sample_mispred;
+      Binio.Writer.varint w c.baseline_mispred;
+      Binio.Writer.varint w c.samples)
+    plan;
+  Binio.Writer.contents w
+
+let decode buf =
+  Whisper_error.protect ~context:"rescore-plan" Plan_io @@ fun () ->
+  let r = Binio.Reader.create buf in
+  Binio.Reader.magic r magic;
+  let v = Binio.Reader.varint r in
+  if v <> format_version then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Plan_io
+      (Whisper_error.Version_mismatch { got = v; expected = format_version });
+  (* 7 one-byte fields is the floor for an entry *)
+  let n = Binio.Reader.count ~per_elem:7 r in
+  let out = ref [] in
+  for _ = 1 to n do
+    let pc = Binio.Reader.varint r in
+    let bias = bias_of_code r (Binio.Reader.byte r) in
+    let len_idx = Binio.Reader.varint r in
+    if len_idx > 255 then
+      Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Plan_io
+        (Whisper_error.Out_of_range "len_idx");
+    let formula_id = Binio.Reader.varint r in
+    let sample_mispred = Binio.Reader.varint r in
+    let baseline_mispred = Binio.Reader.varint r in
+    let samples = Binio.Reader.varint r in
+    out :=
+      ( pc,
+        {
+          History_select.len_idx;
+          formula_id;
+          bias;
+          sample_mispred;
+          baseline_mispred;
+          samples;
+        } )
+      :: !out
+  done;
+  if not (Binio.Reader.eof r) then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Plan_io
+      Whisper_error.Trailing_bytes;
+  List.rev !out
+
+let digest plan = Digest.to_hex (Digest.bytes (encode plan))
+
+type score = {
+  hinted : int;
+  window_candidates : int;
+  base_mispred : int;
+  hinted_base_mispred : int;
+  hint_mispred : int;
+  avoided : int;
+  coverage : float;
+}
+
+let score ~config ~rnd ~profile (plan : plan) =
+  ignore config;
+  let hints = Hashtbl.create (List.length plan * 2) in
+  List.iter (fun (pc, c) -> Hashtbl.replace hints pc c) plan;
+  let base_mispred = ref 0 in
+  let hinted = ref 0 in
+  let hinted_base = ref 0 in
+  let hint_mispred = ref 0 in
+  let candidates = Profile.candidates profile in
+  Array.iter
+    (fun pc ->
+      match Profile.raw_view profile ~pc with
+      | None -> ()
+      | Some v ->
+          let n_lengths = v.Profile.flags_off - v.Profile.hash_off in
+          let base = ref 0 in
+          for i = 0 to v.Profile.n - 1 do
+            let flags =
+              Char.code
+                (Bytes.get v.Profile.buf
+                   ((i * v.Profile.record_bytes) + v.Profile.flags_off))
+            in
+            if flags land 2 = 0 then incr base
+          done;
+          base_mispred := !base_mispred + !base;
+          match Hashtbl.find_opt hints pc with
+          | None -> ()
+          | Some (c : History_select.choice) ->
+              incr hinted;
+              hinted_base := !hinted_base + !base;
+              let m = ref 0 in
+              (match c.bias with
+              | Brhint.Dynamic ->
+                  (* hint defers to the baseline predictor *)
+                  m := !base
+              | Brhint.Always_taken | Brhint.Never_taken ->
+                  let want = c.bias = Brhint.Always_taken in
+                  for i = 0 to v.Profile.n - 1 do
+                    let flags =
+                      Char.code
+                        (Bytes.get v.Profile.buf
+                           ((i * v.Profile.record_bytes) + v.Profile.flags_off))
+                    in
+                    if flags land 1 = 1 <> want then incr m
+                  done
+              | Brhint.Formula ->
+                  if c.len_idx >= n_lengths then
+                    (* a plan trained with a longer series than this
+                       window carries — score the hint as inert *)
+                    m := !base
+                  else
+                    let tt = Randomized.truth_of rnd c.formula_id in
+                    for i = 0 to v.Profile.n - 1 do
+                      let rec_base = i * v.Profile.record_bytes in
+                      let key =
+                        Char.code
+                          (Bytes.get v.Profile.buf
+                             (rec_base + v.Profile.hash_off + c.len_idx))
+                      in
+                      let flags =
+                        Char.code
+                          (Bytes.get v.Profile.buf
+                             (rec_base + v.Profile.flags_off))
+                      in
+                      let taken = flags land 1 = 1 in
+                      if Whisper_formula.Tree.eval_tt tt key <> taken then
+                        incr m
+                    done);
+              hint_mispred := !hint_mispred + !m)
+    candidates;
+  let avoided = !hinted_base - !hint_mispred in
+  {
+    hinted = !hinted;
+    window_candidates = Array.length candidates;
+    base_mispred = !base_mispred;
+    hinted_base_mispred = !hinted_base;
+    hint_mispred = !hint_mispred;
+    avoided;
+    coverage = float_of_int avoided /. float_of_int (max 1 !base_mispred);
+  }

@@ -1,0 +1,52 @@
+(** Incremental re-scoring of deployed hint plans — the drift detector
+    of the continuous-profiling service.
+
+    A deployed plan was trained on an earlier profiling window; as the
+    workload drifts, two things rot it: the hinted branches' behaviour
+    shifts under their frozen formulas, and newly-hot mispredicting
+    branches appear that carry no hint at all.  {!score} measures both
+    against a fresh window profile without re-running Algorithm 1: it
+    replays every hinted branch's window samples through its hint
+    (formula truth table, or static bias) and reports the {e coverage}
+    — mispredictions the plan avoids as a fraction of all baseline
+    sample mispredictions across the window's candidate branches.  The
+    denominator deliberately spans unhinted candidates too, so a phase
+    flip that moves the hot set shows up as coverage decay even when
+    every surviving hinted branch still behaves.
+
+    The module also gives plans a versioned wire form (magic, version,
+    total decoding) so a service can persist each rolled-out generation
+    and re-load it across restarts. *)
+
+type plan = (int * History_select.choice) list
+(** Exactly {!Analyze.t}'s [decisions]. *)
+
+val format_version : int
+
+val encode : plan -> bytes
+
+val decode : bytes -> (plan, Whisper_util.Whisper_error.t) result
+(** Total: corrupt input is a typed [Error] with stage [Plan_io]. *)
+
+val digest : plan -> string
+(** Hex digest of {!encode} — the plan generation's content key. *)
+
+type score = {
+  hinted : int;  (** deployed hints whose branch has window samples *)
+  window_candidates : int;  (** candidate branches in the window *)
+  base_mispred : int;
+      (** baseline sample mispredictions over {e all} window candidates *)
+  hinted_base_mispred : int;  (** baseline mispredictions on hinted branches *)
+  hint_mispred : int;  (** mispredictions of the hints on those branches *)
+  avoided : int;  (** [hinted_base_mispred - hint_mispred]; negative = harmful *)
+  coverage : float;  (** [avoided / max 1 base_mispred] *)
+}
+
+val score :
+  config:Config.t ->
+  rnd:Randomized.t ->
+  profile:Whisper_trace.Profile.t ->
+  plan ->
+  score
+(** Pure in its arguments; [rnd] must come from the same [config] the
+    plan was trained with (formula ids index its shuffled space). *)

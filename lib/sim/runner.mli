@@ -102,6 +102,14 @@ val stats : ctx -> stats
 
 val cfg_of : ctx -> Whisper_trace.Workloads.config -> Whisper_trace.Cfg.t
 
+val lbr_predictor : int -> unit -> pc:int -> taken:bool -> bool
+(** [lbr_predictor kb ()] is a fresh [kb]-budget TAGE-SC-L baseline as
+    the correctness closure {!Whisper_trace.Profile.collect} consumes —
+    the LBR-style "was the baseline right" bit production profiling
+    exposes.  Each application returns an independent predictor
+    instance (collection replays the stream twice against fresh
+    state). *)
+
 val arena :
   ctx -> Whisper_trace.Workloads.config -> input:int -> Whisper_trace.Arena.t
 (** The memoized packed arena for (app, input) at the ctx's current

@@ -56,11 +56,26 @@ let build_sessions ~(cfg : Cfg.t) ~(config : Workloads.config) =
       Array.of_list (List.rev !blocks))
 
 (* Run-time popularity of session types, with an input-dependent
-   permutation: different inputs make different request types hot. *)
-let session_cum ~(config : Workloads.config) ~input =
+   permutation: different inputs make different request types hot.
+
+   [phase] models macro workload drift (a product launch, a traffic
+   migration): unlike [input], which only reshuffles the popularity
+   tail, a phase change re-ranks {e every} session type — including the
+   heads — so the hot branch working set genuinely moves and hints
+   trained on an earlier phase lose coverage.  Phase 0 is the identity,
+   so existing streams are unchanged. *)
+let session_cum ~(config : Workloads.config) ~input ~phase =
   let n = config.session_types in
   let base_rng = Rng.create ((config.seed * 69_069) + 12345) in
   let ranks = Rng.permutation base_rng n in
+  if phase > 0 then begin
+    let prng = Rng.create ((config.seed * 48_271) + (phase * 104_003) + 7) in
+    let perm = Rng.permutation prng n in
+    let old = Array.copy ranks in
+    for i = 0 to n - 1 do
+      ranks.(i) <- old.(perm.(i))
+    done
+  end;
   if input > 0 then begin
     let irng = Rng.create ((config.seed * 31_337) + (input * 7919)) in
     let swaps = input * (max 1 (n / 6)) in
@@ -109,13 +124,14 @@ let sample_session t =
   done;
   !lo
 
-let create ?(lengths = Workloads.lengths) ?(chunk = 8) ~cfg ~config ~input () =
+let create ?(lengths = Workloads.lengths) ?(chunk = 8) ?(phase = 0) ~cfg
+    ~config ~input () =
   let rng = Rng.create ((config.Workloads.seed * 65_537) + (input * 257) + 1) in
   let ctx =
     Behavior.make_ctx ~lengths ~n_branches:(Cfg.n_branches cfg) ~chunk
   in
   let session_blocks = build_sessions ~cfg ~config in
-  let cum_weights, total_weight = session_cum ~config ~input in
+  let cum_weights, total_weight = session_cum ~config ~input ~phase in
   let t =
     {
       cfg;

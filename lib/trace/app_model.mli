@@ -18,12 +18,21 @@ type t
 val create :
   ?lengths:int array ->
   ?chunk:int ->
+  ?phase:int ->
   cfg:Cfg.t ->
   config:Workloads.config ->
   input:int ->
   unit ->
   t
-(** [lengths] defaults to {!Workloads.lengths}; [chunk] to 8. *)
+(** [lengths] defaults to {!Workloads.lengths}; [chunk] to 8.
+
+    [phase] (default [0]) models macro workload drift on top of the
+    paper's input variation: where [input] perturbs only the popularity
+    tail (hot request types stay hot across inputs), a phase change
+    re-ranks {e all} session types — the continuous-profiling drift
+    scenario where deployed hints rot because the hot working set
+    itself moved.  [phase = 0] leaves the stream byte-identical to a
+    model built without the parameter. *)
 
 val source : t -> Branch.source
 (** The event stream.  Each call advances the model by one block. *)

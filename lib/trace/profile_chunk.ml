@@ -1,0 +1,189 @@
+open Whisper_util
+
+type t = { app : string; seq : int; profile : Profile.t }
+
+let magic = "WCHK"
+let format_version = 1
+
+let encode ~app ~seq profile =
+  let w = Binio.Writer.create ~capacity:4096 () in
+  Binio.Writer.magic w magic;
+  Binio.Writer.varint w format_version;
+  Binio.Writer.string w app;
+  Binio.Writer.varint w seq;
+  Binio.Writer.bytes w (Profile_io.to_bytes profile);
+  Binio.Writer.contents w
+
+let decode buf =
+  Whisper_error.protect ~context:"profile-chunk" Profile_io @@ fun () ->
+  let r = Binio.Reader.create buf in
+  Binio.Reader.magic r magic;
+  let v = Binio.Reader.varint r in
+  if v <> format_version then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Profile_io
+      (Whisper_error.Version_mismatch { got = v; expected = format_version });
+  let app = Binio.Reader.string r in
+  let seq = Binio.Reader.varint r in
+  let profile = Profile_io.of_bytes_exn (Binio.Reader.bytes r) in
+  if not (Binio.Reader.eof r) then
+    Whisper_error.raise_error ~offset:(Binio.Reader.pos r) Profile_io
+      Whisper_error.Trailing_bytes;
+  { app; seq; profile }
+
+let id buf = Digest.to_hex (Digest.bytes buf)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical accumulator                                              *)
+(* ------------------------------------------------------------------ *)
+
+type acc_stat = {
+  mutable execs : int;
+  mutable taken_cnt : int;
+  mutable mispred : int;
+}
+
+type accum = {
+  lengths : int array;
+  max_samples : int;
+  record_bytes : int;
+  stats : (int, acc_stat) Hashtbl.t;
+  sets : (int, Mergeset.t) Hashtbl.t;  (* per-branch canonical samples *)
+  ids : (string, unit) Hashtbl.t;  (* ingested chunk content keys *)
+  mutable total_instrs : int;
+  mutable total_branches : int;
+  mutable total_mispred : int;
+  mutable n_chunks : int;
+  mutable n_duplicates : int;
+  mutable n_samples : int;
+}
+
+let create_accum ?(max_samples = 512) ~lengths () =
+  {
+    lengths = Array.copy lengths;
+    max_samples;
+    record_bytes = 1 + 7 + Array.length lengths + 1;
+    stats = Hashtbl.create 1024;
+    sets = Hashtbl.create 256;
+    ids = Hashtbl.create 64;
+    total_instrs = 0;
+    total_branches = 0;
+    total_mispred = 0;
+    n_chunks = 0;
+    n_duplicates = 0;
+    n_samples = 0;
+  }
+
+type outcome = Added of string | Duplicate of string
+
+let chunks a = a.n_chunks
+let duplicates a = a.n_duplicates
+let samples a = a.n_samples
+
+let merge_into a (p : Profile.t) =
+  Profile.iter_stats p ~f:(fun ~pc s ->
+      let acc =
+        match Hashtbl.find_opt a.stats pc with
+        | Some acc -> acc
+        | None ->
+            let acc = { execs = 0; taken_cnt = 0; mispred = 0 } in
+            Hashtbl.add a.stats pc acc;
+            acc
+      in
+      acc.execs <- acc.execs + s.Profile.execs;
+      acc.taken_cnt <- acc.taken_cnt + s.Profile.taken_cnt;
+      acc.mispred <- acc.mispred + s.Profile.mispred);
+  a.total_instrs <- a.total_instrs + Profile.total_instrs p;
+  a.total_branches <- a.total_branches + Profile.total_branches p;
+  a.total_mispred <- a.total_mispred + Profile.total_mispred p;
+  Array.iter
+    (fun pc ->
+      match Profile.raw_view p ~pc with
+      | None -> ()
+      | Some v ->
+          let set =
+            match Hashtbl.find_opt a.sets pc with
+            | Some s -> s
+            | None ->
+                let s =
+                  Mergeset.create ~stride:a.record_bytes ~cap:a.max_samples
+                in
+                Hashtbl.add a.sets pc s;
+                s
+          in
+          for i = 0 to v.Profile.n - 1 do
+            Mergeset.add set v.Profile.buf ~off:(i * v.Profile.record_bytes)
+          done;
+          a.n_samples <- a.n_samples + v.Profile.n)
+    (Profile.candidates p)
+
+let ingest_profile a ~id p =
+  if Profile.lengths p <> a.lengths then
+    invalid_arg "Profile_chunk.ingest_profile: length series mismatch";
+  if Hashtbl.mem a.ids id then begin
+    a.n_duplicates <- a.n_duplicates + 1;
+    Duplicate id
+  end
+  else begin
+    Hashtbl.add a.ids id ();
+    merge_into a p;
+    a.n_chunks <- a.n_chunks + 1;
+    Added id
+  end
+
+let ingest a buf =
+  match decode buf with
+  | Error _ as e -> e
+  | Ok { profile; _ } ->
+      if Profile.lengths profile <> a.lengths then
+        Error
+          (Whisper_error.make ~context:"profile-chunk" Profile_io
+             (Whisper_error.Malformed
+                "chunk length series differs from accumulator"))
+      else Ok (ingest_profile a ~id:(id buf) profile)
+
+(* Materialize in canonical order: stats in ascending-pc order (fixing
+   the hashtable iteration order {!Profile_io.to_bytes} follows), each
+   branch's samples in Mergeset (lexicographic) order. *)
+let profile a =
+  let out = Profile.create_empty ~lengths:a.lengths () in
+  let pcs =
+    Hashtbl.fold (fun pc _ acc -> pc :: acc) a.stats []
+    |> List.sort compare
+  in
+  List.iter
+    (fun pc ->
+      let s = Hashtbl.find a.stats pc in
+      Profile.restore_stat out ~pc ~execs:s.execs ~taken_cnt:s.taken_cnt
+        ~mispred:s.mispred)
+    pcs;
+  Profile.set_totals out ~instrs:a.total_instrs ~branches:a.total_branches
+    ~mispred:a.total_mispred;
+  let nl = Array.length a.lengths in
+  let hashes = Array.make nl 0 in
+  let sample_pcs =
+    Hashtbl.fold (fun pc _ acc -> pc :: acc) a.sets [] |> List.sort compare
+  in
+  List.iter
+    (fun pc ->
+      let set = Hashtbl.find a.sets pc in
+      Mergeset.iter set ~f:(fun buf ~off ->
+          let raw8 = Char.code (Bytes.get buf off) in
+          let raw56 = ref 0 in
+          for b = 6 downto 0 do
+            raw56 := (!raw56 lsl 8) lor Char.code (Bytes.get buf (off + 1 + b))
+          done;
+          for i = 0 to nl - 1 do
+            hashes.(i) <- Char.code (Bytes.get buf (off + 8 + i))
+          done;
+          let flags = Char.code (Bytes.get buf (off + 8 + nl)) in
+          Profile.add_sample ~raw56:!raw56 out ~pc ~raw8 ~hashes
+            ~taken:(flags land 1 = 1) ~correct:(flags land 2 = 2)))
+    sample_pcs;
+  out
+
+let merge_profiles ?max_samples ~lengths ps =
+  let a = create_accum ?max_samples ~lengths () in
+  List.iteri
+    (fun i p -> ignore (ingest_profile a ~id:(Printf.sprintf "#%d" i) p))
+    ps;
+  profile a

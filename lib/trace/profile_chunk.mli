@@ -1,0 +1,81 @@
+(** Incremental profile chunks and their order-independent accumulator
+    — the artifact a continuously-profiling fleet ships to a long-lived
+    analysis service.
+
+    A chunk wraps one collection window's {!Profile} together with the
+    application it came from and the window's sequence number.  Chunks
+    are {e content-keyed}: {!id} digests the encoded bytes, so a
+    re-delivered chunk (a retrying host, a duplicated queue message) is
+    recognized and ingested as a counted no-op rather than
+    double-counted.
+
+    The {!accum} merges delivered chunks into one canonical per-app
+    profile: aggregate counters are summed and each branch's bounded
+    sample set is kept as a {!Whisper_util.Mergeset} — the
+    N-lexicographically-smallest selection whose union is associative,
+    commutative and delivery-order independent.  Consequently any
+    permutation (or grouping) of the same chunk multiset materializes
+    to a byte-identical {!Profile_io.to_bytes} image, and therefore to
+    an identical hint plan.
+
+    Decoding is total: truncated, bit-flipped or version-skewed chunks
+    come back as typed {!Whisper_util.Whisper_error.t}s (stage
+    [Profile_io]), never as exceptions — a corrupt chunk must quarantine,
+    not kill the daemon. *)
+
+type t = { app : string; seq : int; profile : Profile.t }
+
+val format_version : int
+
+val encode : app:string -> seq:int -> Profile.t -> bytes
+
+val decode : bytes -> (t, Whisper_util.Whisper_error.t) result
+(** Total: any malformation is a typed [Error] with stage
+    [Profile_io]. *)
+
+val id : bytes -> string
+(** Hex digest of the encoded chunk — its content key.  Defined on the
+    raw bytes so corrupt chunks still have a stable quarantine key. *)
+
+(** {1 Accumulation} *)
+
+type accum
+
+val create_accum : ?max_samples:int -> lengths:int array -> unit -> accum
+(** [max_samples] (default 512, matching collection) bounds each
+    branch's kept sample records. *)
+
+type outcome =
+  | Added of string  (** chunk id, newly merged *)
+  | Duplicate of string  (** chunk id already ingested — a no-op *)
+
+val ingest :
+  accum -> bytes -> (outcome, Whisper_util.Whisper_error.t) result
+(** Decode and merge one delivered chunk.  [Error] (corrupt bytes,
+    mismatched length series) leaves the accumulator unchanged. *)
+
+val ingest_profile : accum -> id:string -> Profile.t -> outcome
+(** Merge an already-decoded chunk profile under an explicit content
+    key (the serve window path, which holds decoded chunks).
+    @raise Invalid_argument on a length-series mismatch. *)
+
+val chunks : accum -> int
+(** Distinct chunks merged so far. *)
+
+val duplicates : accum -> int
+(** Re-deliveries recognized and skipped. *)
+
+val samples : accum -> int
+(** Sample records offered by merged chunks (pre-cap). *)
+
+val profile : accum -> Profile.t
+(** Materialize the canonical accumulated profile: branches in
+    ascending-pc order, each branch's samples in {!Whisper_util.Mergeset}
+    order — the same bytes (under {!Profile_io.to_bytes}) for every
+    delivery order of the same chunks. *)
+
+val merge_profiles :
+  ?max_samples:int -> lengths:int array -> Profile.t list -> Profile.t
+(** One-shot canonical merge (order-independent, unlike {!Profile.merge}
+    whose sample order follows hashtable iteration).  An empty list
+    yields an empty profile. *)

@@ -1,0 +1,104 @@
+(* Sorted insertion into a flat byte buffer.  Chunk ingestion offers a
+   few hundred records per branch and the cap matches profile
+   collection's per-branch sample bound, so the O(n) memmove per insert
+   is noise against decoding the chunk itself — and the flat buffer is
+   exactly the canonical encoding [contents] must produce, so there is
+   no separate materialization step to keep consistent. *)
+
+type t = {
+  stride : int;
+  cap : int;
+  mutable buf : Bytes.t;  (* length = multiple of stride, grown 2x *)
+  mutable n : int;  (* records kept, sorted ascending *)
+  mutable seen : int;
+}
+
+let create ~stride ~cap =
+  if stride <= 0 then invalid_arg "Mergeset.create: stride must be positive";
+  if cap < 0 then invalid_arg "Mergeset.create: negative cap";
+  { stride; cap; buf = Bytes.create (stride * min 8 (max cap 1)); n = 0; seen = 0 }
+
+let stride t = t.stride
+let cap t = t.cap
+let length t = t.n
+let seen t = t.seen
+
+(* Lexicographic compare of the record at [buf.(off)] against kept
+   record [slot]. *)
+let compare_at t buf ~off ~slot =
+  let base = slot * t.stride in
+  let rec go i =
+    if i = t.stride then 0
+    else
+      let c =
+        Char.compare (Bytes.get buf (off + i)) (Bytes.get t.buf (base + i))
+      in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* First kept slot whose record is > the candidate: insertion point
+   that places equal records after their existing copies (any choice
+   yields the same bytes; this one keeps the blit suffix minimal in the
+   common append case). *)
+let insertion_slot t buf ~off =
+  let lo = ref 0 and hi = ref t.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_at t buf ~off ~slot:mid < 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let ensure_capacity t records =
+  let need = records * t.stride in
+  if Bytes.length t.buf < need then begin
+    let cap' = max need (2 * Bytes.length t.buf) in
+    let nb = Bytes.create cap' in
+    Bytes.blit t.buf 0 nb 0 (t.n * t.stride);
+    t.buf <- nb
+  end
+
+let add t buf ~off =
+  if off < 0 || off + t.stride > Bytes.length buf then
+    invalid_arg "Mergeset.add: record out of bounds";
+  t.seen <- t.seen + 1;
+  if t.cap = 0 then ()
+  else begin
+    let slot = insertion_slot t buf ~off in
+    if t.n < t.cap then begin
+      ensure_capacity t (t.n + 1);
+      let base = slot * t.stride in
+      Bytes.blit t.buf base t.buf (base + t.stride) ((t.n - slot) * t.stride);
+      Bytes.blit buf off t.buf base t.stride;
+      t.n <- t.n + 1
+    end
+    else if slot < t.n then begin
+      (* full: the candidate displaces the largest kept record *)
+      let base = slot * t.stride in
+      Bytes.blit t.buf base t.buf (base + t.stride)
+        ((t.n - slot - 1) * t.stride);
+      Bytes.blit buf off t.buf base t.stride
+    end
+    (* slot = n: candidate >= every kept record — dropped *)
+  end
+
+let add_all t ~other =
+  if other.stride <> t.stride then invalid_arg "Mergeset.add_all: stride mismatch";
+  (* records are read out of [other]'s buffer directly; [other == t] is
+     fine too because each insert reads one record before mutating *)
+  let snapshot = if other == t then Bytes.sub other.buf 0 (other.n * other.stride) else other.buf in
+  for i = 0 to other.n - 1 do
+    add t snapshot ~off:(i * t.stride)
+  done;
+  ()
+
+let iter t ~f =
+  for i = 0 to t.n - 1 do
+    f t.buf ~off:(i * t.stride)
+  done
+
+let contents t = Bytes.sub t.buf 0 (t.n * t.stride)
+
+let equal a b =
+  a.stride = b.stride && a.n = b.n
+  && Bytes.equal (contents a) (contents b)

@@ -1,0 +1,56 @@
+(** Canonical bounded multisets of fixed-stride byte records — the
+    merge kernel behind incremental profile accumulation.
+
+    A continuously-profiling fleet delivers sample chunks out of order,
+    duplicated and interleaved across hosts; the accumulated profile
+    must nevertheless be {e one} deterministic artifact.  This module
+    provides the algebra that makes that possible: a multiset of
+    equal-size byte records kept in lexicographic order and capped to
+    the [cap] {e smallest} records.
+
+    Keeping the N lexicographically smallest elements of a multiset
+    union is associative, commutative and independent of delivery
+    order: every grouping of [add_all]s over the same record multiset
+    yields byte-identical {!contents} (ties are byte-equal records, so
+    any tie-break produces the same bytes).  That algebraic fact — not
+    any property of the caller — is what lets chunk ingestion promise
+    byte-identical accumulated profiles under permutation, and it is
+    property-tested directly. *)
+
+type t
+
+val create : stride:int -> cap:int -> t
+(** A fresh empty multiset of [stride]-byte records keeping at most
+    [cap] records.  @raise Invalid_argument unless [stride > 0] and
+    [cap >= 0]. *)
+
+val stride : t -> int
+val cap : t -> int
+
+val length : t -> int
+(** Records currently kept (always [<= cap]). *)
+
+val seen : t -> int
+(** Records ever offered via {!add} / {!add_all}, including those
+    dropped by the cap. *)
+
+val add : t -> Bytes.t -> off:int -> unit
+(** Insert one record read from [buf.(off .. off+stride-1)], keeping
+    the multiset sorted and dropping the largest record when the cap
+    is exceeded.  @raise Invalid_argument on an out-of-bounds slice. *)
+
+val add_all : t -> other:t -> unit
+(** Merge [other]'s kept records into [t] ([other] is unchanged).
+    Equivalent to {!add}-ing each of [other]'s records.
+    @raise Invalid_argument on a stride mismatch. *)
+
+val iter : t -> f:(Bytes.t -> off:int -> unit) -> unit
+(** Visit kept records smallest-first.  The buffer handed to [f]
+    aliases internal storage — read-only, and only inside the call. *)
+
+val contents : t -> bytes
+(** The kept records, packed smallest-first — the canonical encoding
+    two equal multisets agree on byte-for-byte. *)
+
+val equal : t -> t -> bool
+(** Same stride and identical kept records ([seen] may differ). *)

@@ -81,6 +81,25 @@ let plan_bytes =
   let by_host = Hashtbl.create 8 in
   Plan_io.to_bytes { Inject.placements; by_host; dropped = 1 }
 
+let chunk_bytes =
+  match Profile_io.of_bytes profile_bytes with
+  | Ok p -> Profile_chunk.encode ~app:"fuzz-app" ~seq:3 p
+  | Error _ -> assert false
+
+let rescore_plan_bytes =
+  let open Whisper_core in
+  Rescore.encode
+    (List.init 5 (fun i ->
+         ( 0x4000 + (i * 64),
+           {
+             History_select.len_idx = i mod 16;
+             formula_id = i * 321;
+             bias = Brhint.bias_of_code (i mod 4);
+             sample_mispred = i;
+             baseline_mispred = 2 * i;
+             samples = 40;
+           } )))
+
 let arena_of_tiny () =
   Arena.build ~events:2_000 (App_model.create ~cfg ~config:tiny_config ~input:0 ())
 
@@ -252,6 +271,18 @@ let decoders =
       ipc_from_worker_bytes,
       fun b ->
         match Ipc.decode_from_worker b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "profile_chunk",
+      chunk_bytes,
+      fun b ->
+        match Profile_chunk.decode b with
+        | Ok _ -> None
+        | Error e -> Some (Whisper_error.to_string e) );
+    ( "rescore_plan",
+      rescore_plan_bytes,
+      fun b ->
+        match Whisper_core.Rescore.decode b with
         | Ok _ -> None
         | Error e -> Some (Whisper_error.to_string e) );
   ]
